@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data series behind one figure of the paper
+and prints it (compare with the corresponding entry in ``EXPERIMENTS.md``).
+The timed quantity is the full experiment (workload generation + every
+algorithm), run once per benchmark round.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SEEDS`` to change the number of random seeds averaged over
+(default 3; the paper uses 20).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def _seed_count() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_SEEDS", "3")))
+    except ValueError:
+        return 3
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Experiment configuration shared by all benchmarks."""
+    return ExperimentConfig(seeds=tuple(range(_seed_count())))
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> ExperimentConfig:
+    """Single-seed configuration for the heaviest benchmarks (pop80)."""
+    return ExperimentConfig(seeds=(0,))

@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* greedy versus the MECF 1/load flow relaxation versus the exact MIP -- the
+  three solution strategies Section 4.3 relates to each other;
+* solver backend comparison (HiGHS versus the in-house branch-and-bound) on
+  the same placement instance;
+* symmetric versus asymmetric routing, the modelling choice Section 4.4
+  explicitly departs from prior work on.
+"""
+
+import pytest
+
+from repro.flows.mecf import solve_mecf_relaxation
+from repro.passive import PPMProblem, solve_greedy, solve_ilp
+from repro.topology import paper_pop
+from repro.traffic import RoutingConfig, generate_demands, route_demands
+
+
+@pytest.fixture(scope="module")
+def instance():
+    pop = paper_pop("pop10", seed=5)
+    demands = generate_demands(pop, seed=5)
+    matrix = route_demands(pop, demands)
+    return pop, demands, matrix
+
+
+def test_bench_ablation_heuristics(benchmark, instance):
+    """Greedy vs MECF flow relaxation vs exact MIP on one instance."""
+    _, _, matrix = instance
+    problem = PPMProblem(matrix, coverage=0.9)
+
+    def run():
+        greedy = solve_greedy(problem)
+        relaxation = solve_mecf_relaxation(problem.to_mecf_instance())
+        ilp = solve_ilp(problem)
+        return greedy.num_devices, len(relaxation.selected_edges), ilp.num_devices
+
+    greedy_n, relax_n, ilp_n = benchmark(run)
+    print("\nAblation: solution strategies for PPM(0.9) on the 10-router POP")
+    print(f"  greedy (most loaded link first): {greedy_n}")
+    print(f"  MECF 1/load flow relaxation    : {relax_n}")
+    print(f"  exact MIP (Linear program 2)   : {ilp_n}")
+    assert ilp_n <= greedy_n
+    assert ilp_n <= relax_n
+
+
+def test_bench_ablation_solver_backends(benchmark, instance):
+    """HiGHS versus the in-house branch-and-bound on the placement MIP."""
+    _, _, matrix = instance
+    problem = PPMProblem(matrix, coverage=0.85)
+
+    def run():
+        scipy_devices = solve_ilp(problem, backend="scipy").num_devices
+        inhouse_devices = solve_ilp(problem, backend="branch-and-bound").num_devices
+        return scipy_devices, inhouse_devices
+
+    scipy_devices, inhouse_devices = benchmark(run)
+    print("\nAblation: solver backends on PPM(0.85), 10-router POP")
+    print(f"  HiGHS (scipy)            : {scipy_devices}")
+    print(f"  in-house branch-and-bound: {inhouse_devices}")
+    assert scipy_devices == inhouse_devices
+
+
+def test_bench_ablation_routing_symmetry(benchmark, instance):
+    """Effect of symmetric versus asymmetric shortest-path routing."""
+    pop, demands, _ = instance
+
+    def run():
+        asymmetric = route_demands(pop, demands, RoutingConfig(symmetric=False))
+        symmetric = route_demands(pop, demands, RoutingConfig(symmetric=True))
+        dev_asym = solve_ilp(PPMProblem(asymmetric, coverage=0.95)).num_devices
+        dev_sym = solve_ilp(PPMProblem(symmetric, coverage=0.95)).num_devices
+        return dev_asym, dev_sym
+
+    dev_asym, dev_sym = benchmark(run)
+    print("\nAblation: routing symmetry, PPM(0.95) on the 10-router POP")
+    print(f"  asymmetric routing (paper's choice): {dev_asym}")
+    print(f"  symmetric routing                  : {dev_sym}")
+    assert dev_asym > 0 and dev_sym > 0

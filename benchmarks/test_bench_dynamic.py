@@ -1,0 +1,21 @@
+"""Section 5.4 benchmark: PPME* re-optimization under traffic drift.
+
+Times the full controller loop (deployment + drifting traffic + threshold
+re-optimizations) and reports how often the polynomial re-optimization fires.
+"""
+
+from repro.experiments import dynamic_controller_experiment
+
+
+def test_bench_dynamic_controller(benchmark, bench_config):
+    report = benchmark.pedantic(
+        dynamic_controller_experiment,
+        kwargs={"preset": "pop10", "steps": 25, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nDynamic sampling-rate maintenance (Section 5.4), 25 drift steps")
+    for key, value in report.items():
+        print(f"  {key:26s}: {value:.3f}")
+    assert report["reoptimizations_mean"] >= 1.0
+    assert 0.0 < report["min_coverage_mean"] <= 1.0

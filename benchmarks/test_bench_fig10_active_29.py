@@ -1,0 +1,15 @@
+"""Figure 10 benchmark: beacon placement on a 29-router POP."""
+
+from repro.experiments import figure10_active_pop29, format_table, summarize_ratio
+
+
+def test_bench_figure10_active_pop29(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        figure10_active_pop29, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Figure 10: beacon placement, 29-router POP"))
+    ratio = summarize_ratio(rows, "thiran_beacons", "ilp_beacons")
+    print(f"Thiran / ILP ratio: mean={ratio['mean']:.2f} (paper: ~1.5, i.e. a ~33% reduction)")
+    for row in rows:
+        assert row["ilp_beacons"] <= row["thiran_beacons"] + 1e-9
+        assert row["ilp_beacons"] <= row["greedy_beacons"] + 1e-9

@@ -1,0 +1,16 @@
+"""Figure 3 benchmark: the worked example where the greedy is suboptimal.
+
+Regenerates the example of Section 4.3 (four traffics, greedy installs 3
+devices, the optimum needs 2) and times the two solvers on it.
+"""
+
+from repro.experiments import figure3_worked_example
+
+
+def test_bench_figure3_worked_example(benchmark):
+    result = benchmark(figure3_worked_example)
+    print("\nFigure 3 worked example")
+    print(f"  greedy devices : {result['greedy_devices']} (paper: 3)")
+    print(f"  optimal devices: {result['ilp_devices']} (paper: 2)")
+    assert result["greedy_devices"] == 3
+    assert result["ilp_devices"] == 2

@@ -1,0 +1,17 @@
+"""Figure 6 benchmark: non-uniform traffic load on a simple POP.
+
+The paper's Figure 6 is a drawing of a POP with edge thickness proportional
+to the load; the numeric counterpart is the per-link load skew of the
+generated matrices.
+"""
+
+from repro.experiments import figure6_traffic_skew
+
+
+def test_bench_figure6_traffic_skew(benchmark):
+    stats = benchmark(figure6_traffic_skew, seed=0)
+    print("\nFigure 6 traffic skew on a 10-router POP")
+    for key, value in stats.items():
+        print(f"  {key:28s}: {value:.3f}")
+    assert stats["max_over_mean"] > 1.3
+    assert stats["coefficient_of_variation"] > 0.2

@@ -1,0 +1,19 @@
+"""Figure 7 benchmark: passive device placement on a 10-router POP.
+
+Prints the greedy / ILP device counts for coverage targets from 75% to 100%,
+averaged over the configured seeds -- the series plotted in Figure 7.
+"""
+
+from repro.experiments import figure7_passive_pop10, format_table, summarize_ratio
+
+
+def test_bench_figure7_passive_pop10(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        figure7_passive_pop10, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Figure 7: passive placement, 10-router POP"))
+    ratio = summarize_ratio(rows, "greedy_devices", "ilp_devices")
+    print(f"greedy / ILP ratio: mean={ratio['mean']:.2f} max={ratio['max']:.2f} (paper: ~2)")
+    for row in rows:
+        assert row["ilp_devices"] <= row["greedy_devices"] + 1e-9
+    assert rows[-1]["ilp_devices"] >= rows[0]["ilp_devices"]

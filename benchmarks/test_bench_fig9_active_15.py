@@ -1,0 +1,20 @@
+"""Figure 9 benchmark: beacon placement on a 15-router POP.
+
+Prints the number of beacons selected by the Thiran baseline, the improved
+greedy and the ILP for increasing candidate-set sizes.
+"""
+
+from repro.experiments import figure9_active_pop15, format_table
+
+
+def test_bench_figure9_active_pop15(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        figure9_active_pop15, kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    print("\n" + format_table(rows, title="Figure 9: beacon placement, 15-router POP"))
+    for row in rows:
+        assert row["ilp_beacons"] <= row["greedy_beacons"] + 1e-9
+        assert row["ilp_beacons"] <= row["thiran_beacons"] + 1e-9
+    # At the largest candidate set the ILP must beat the baseline (the paper
+    # reports a factor-2 reduction at |V_B| = 15).
+    assert rows[-1]["ilp_beacons"] <= rows[-1]["thiran_beacons"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Passive monitoring of an ISP POP: planning, budgeting and upgrades.
+
+This example walks through the scenarios an operator faces in Section 4 of
+the paper:
+
+1. how many tap devices does each coverage target cost (the Figure 7 curve)?
+2. what is the best coverage achievable with a limited budget?
+3. the operator already owns devices on some links -- where should the next
+   ones go, and what is the expected gain of buying two more?
+
+Run with::
+
+    python examples/passive_pop_monitoring.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PPMProblem, generate_traffic_matrix, paper_pop, solve_greedy, solve_ilp
+from repro.experiments import format_table
+from repro.passive import expected_gain, solve_incremental, solve_max_coverage
+
+
+def coverage_cost_curve(matrix, coverages=(0.75, 0.85, 0.95, 1.0)):
+    rows = []
+    for coverage in coverages:
+        problem = PPMProblem(matrix, coverage=coverage)
+        rows.append(
+            {
+                "coverage": f"{coverage:.0%}",
+                "greedy": solve_greedy(problem).num_devices,
+                "ilp": solve_ilp(problem).num_devices,
+            }
+        )
+    return rows
+
+
+def main(seed: int = 1) -> None:
+    pop = paper_pop("pop15", seed=seed)
+    matrix = generate_traffic_matrix(pop, seed=seed)
+    print(f"POP {pop.name}: {pop.num_routers} routers, {pop.num_links} links, "
+          f"{len(matrix)} traffics")
+
+    # 1. Cost of each coverage target.
+    print("\n1. Device count per coverage target (greedy vs exact)")
+    print(format_table(coverage_cost_curve(matrix)))
+
+    # 2. Best coverage with a fixed budget.
+    print("\n2. Best achievable coverage with a limited budget")
+    problem = PPMProblem(matrix, coverage=1.0)
+    for budget in (2, 5, 10, 20):
+        result = solve_max_coverage(problem, max_devices=budget)
+        print(f"  {budget:3d} devices -> {result.coverage:6.1%} of the traffic monitored")
+
+    # 3. Incremental upgrade of an existing deployment.
+    print("\n3. Incremental upgrade of an existing deployment")
+    initial = solve_ilp(PPMProblem(matrix, coverage=0.80))
+    print(f"  initial deployment: {initial.num_devices} devices for 80% coverage")
+    upgraded = solve_incremental(PPMProblem(matrix, coverage=0.95), initial.monitored_links)
+    print(f"  upgrade to 95%    : {upgraded.num_new_devices} new devices "
+          f"({upgraded.num_devices} total)")
+    gain = expected_gain(PPMProblem(matrix, coverage=1.0), initial.monitored_links, new_devices=2)
+    print(f"  buying 2 devices  : coverage {gain['coverage_before']:.1%} -> "
+          f"{gain['coverage_after']:.1%} (gain {gain['gain']:+.1%})")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

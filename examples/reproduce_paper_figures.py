@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation in one run.
+
+Prints the data series behind Figures 3, 6, 7, 8, 9, 10 and 11 plus the
+Section 5 experiments.  With the default ``--seeds 3`` the run takes a few
+minutes; ``--seeds 20`` matches the paper's averaging exactly.
+
+Run with::
+
+    python examples/reproduce_paper_figures.py [--seeds N] [--skip-large]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    ExperimentConfig,
+    dynamic_controller_experiment,
+    figure3_worked_example,
+    figure6_traffic_skew,
+    figure7_passive_pop10,
+    figure8_passive_pop15,
+    figure9_active_pop15,
+    figure10_active_pop29,
+    figure11_active_pop80,
+    format_table,
+    ppme_sampling_experiment,
+    summarize_ratio,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of random seeds to average over (paper: 20)")
+    parser.add_argument("--skip-large", action="store_true",
+                        help="skip the 15-router passive and 80-router active runs")
+    args = parser.parse_args()
+    config = ExperimentConfig(seeds=tuple(range(args.seeds)))
+    single = ExperimentConfig(seeds=(0,))
+
+    print("=" * 72)
+    print("Figure 3: worked example (greedy 3 devices vs optimal 2)")
+    example = figure3_worked_example()
+    print(f"  greedy: {example['greedy_devices']}   ILP: {example['ilp_devices']}")
+
+    print("\n" + "=" * 72)
+    print("Figure 6: traffic skew on a simple POP")
+    for key, value in figure6_traffic_skew().items():
+        print(f"  {key:28s}: {value:.3f}")
+
+    print("\n" + "=" * 72)
+    rows = figure7_passive_pop10(config)
+    print(format_table(rows, title="Figure 7: passive placement, 10-router POP"))
+    ratio = summarize_ratio(rows, "greedy_devices", "ilp_devices")
+    print(f"  greedy/ILP mean ratio: {ratio['mean']:.2f}")
+
+    if not args.skip_large:
+        print("\n" + "=" * 72)
+        rows = figure8_passive_pop15(single)
+        print(format_table(rows, title="Figure 8: passive placement, 15-router POP"))
+
+    print("\n" + "=" * 72)
+    rows = figure9_active_pop15(config)
+    print(format_table(rows, title="Figure 9: beacon placement, 15-router POP"))
+
+    print("\n" + "=" * 72)
+    rows = figure10_active_pop29(config)
+    print(format_table(rows, title="Figure 10: beacon placement, 29-router POP"))
+
+    if not args.skip_large:
+        print("\n" + "=" * 72)
+        rows = figure11_active_pop80(single)
+        print(format_table(rows, title="Figure 11: beacon placement, 80-router POP"))
+
+    print("\n" + "=" * 72)
+    print("Section 5.3: PPME(h, k) sampling placement")
+    for key, value in ppme_sampling_experiment(config=single).items():
+        print(f"  {key:26s}: {value:.3f}")
+
+    print("\n" + "=" * 72)
+    print("Section 5.4: dynamic sampling-rate maintenance")
+    for key, value in dynamic_controller_experiment(config=single).items():
+        print(f"  {key:26s}: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro -- Optimal positioning of active and passive monitoring devices.
+
+A from-scratch reproduction of Chaudet, Fleury, Guérin Lassous, Rivano and
+Voge, *Optimal positioning of active and passive monitoring devices*
+(CoNEXT 2005), as a reusable Python library:
+
+* :mod:`repro.passive` -- the PPM(k) placement problem (greedy, MIP, MECF),
+  the sampling-aware PPME(h, k) MILP and the PPME* dynamic re-optimization;
+* :mod:`repro.active` -- probe-set computation and beacon placement;
+* :mod:`repro.covering`, :mod:`repro.flows`, :mod:`repro.optim` -- the
+  combinatorial and optimization substrates (set / partial / vertex cover,
+  min-cost flow, MECF, and an LP/MILP modelling layer with its own solvers);
+* :mod:`repro.topology`, :mod:`repro.traffic`, :mod:`repro.sampling` -- POP
+  topologies, synthetic traffic matrices and packet-level sampling models;
+* :mod:`repro.experiments` -- runners regenerating every figure of the
+  paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import quickstart_demo
+>>> result = quickstart_demo(seed=0)
+>>> result["ilp_devices"] <= result["greedy_devices"]
+True
+"""
+
+from repro.passive import (
+    PPMProblem,
+    PlacementResult,
+    SamplingPlacement,
+    SamplingProblem,
+    solve_greedy,
+    solve_ilp,
+    solve_ppme,
+)
+from repro.active import (
+    BeaconPlacementProblem,
+    compute_probe_set,
+    greedy_placement,
+    ilp_placement,
+)
+from repro.topology import POPTopology, generate_pop, paper_pop
+from repro.traffic import TrafficMatrix, generate_traffic_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BeaconPlacementProblem",
+    "POPTopology",
+    "PPMProblem",
+    "PlacementResult",
+    "SamplingPlacement",
+    "SamplingProblem",
+    "TrafficMatrix",
+    "compute_probe_set",
+    "generate_pop",
+    "generate_traffic_matrix",
+    "greedy_placement",
+    "ilp_placement",
+    "paper_pop",
+    "quickstart_demo",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_ppme",
+    "__version__",
+]
+
+
+def quickstart_demo(seed: int = 0, coverage: float = 0.95) -> dict:
+    """Run the library end to end on a small random POP.
+
+    Generates a 10-router POP with a non-uniform traffic matrix, places
+    passive monitors with both the greedy and the exact MIP, and returns the
+    headline numbers.  Used by the README and the doctest above.
+    """
+    pop = paper_pop("pop10", seed=seed)
+    matrix = generate_traffic_matrix(pop, seed=seed)
+    problem = PPMProblem(matrix, coverage=coverage)
+    greedy = solve_greedy(problem)
+    ilp = solve_ilp(problem)
+    return {
+        "routers": pop.num_routers,
+        "links": pop.num_links,
+        "traffics": len(matrix),
+        "coverage_target": coverage,
+        "greedy_devices": greedy.num_devices,
+        "ilp_devices": ilp.num_devices,
+        "greedy_coverage": greedy.coverage,
+        "ilp_coverage": ilp.coverage,
+    }

@@ -1,0 +1,44 @@
+"""Active monitoring: probe computation and beacon placement (Section 6).
+
+An active probing system consists of *beacons* (routers emitting measurement
+packets) and *probes* (the packets themselves, identified by their two
+extremities).  Following [Nguyen & Thiran, PAM 2004], the paper first
+computes an optimal set of probes from the set of candidate beacons ``V_B``
+and then chooses where to actually place the beacons; its contribution is the
+placement phase, solved by an improved greedy and a 0-1 ILP, both compared to
+the original selection heuristic.
+
+* :mod:`repro.active.probes` -- the probe-set computation and the baseline
+  ("Thiran") beacon selection heuristic;
+* :mod:`repro.active.beacons` -- the improved greedy and the ILP placement,
+  plus the candidate-set sweep harness used by Figures 9-11.
+"""
+
+from repro.active.probes import Probe, ProbeSet, compute_probe_set, thiran_placement
+from repro.active.beacons import (
+    BeaconPlacementProblem,
+    BeaconPlacementResult,
+    greedy_placement,
+    ilp_placement,
+    sweep_candidate_sizes,
+)
+from repro.active.failures import (
+    FailureDetectionResult,
+    detection_coverage,
+    simulate_link_failure,
+)
+
+__all__ = [
+    "BeaconPlacementProblem",
+    "BeaconPlacementResult",
+    "FailureDetectionResult",
+    "Probe",
+    "ProbeSet",
+    "compute_probe_set",
+    "detection_coverage",
+    "greedy_placement",
+    "ilp_placement",
+    "simulate_link_failure",
+    "sweep_candidate_sizes",
+    "thiran_placement",
+]

@@ -1,0 +1,53 @@
+"""Covering-problem substrate.
+
+The paper's central complexity results (Section 4.2) relate the passive
+monitoring problem to classical covering problems:
+
+* PPM(1) is equivalent to **Minimum Set Cover** (Theorem 1);
+* unweighted PPM(k) is equivalent to **Minimum Partial Cover**;
+* the beacon-placement ILP of Section 6 is a **Minimum Vertex Cover** on the
+  probe graph restricted to candidate beacon nodes.
+
+This package provides from-scratch implementations of those problems --
+greedy approximations with the classical ``ln n`` guarantees, exact
+branch-and-bound solvers, and the explicit instance transformations used in
+the proof of Theorem 1.
+"""
+
+from repro.covering.set_cover import (
+    SetCoverInstance,
+    greedy_set_cover,
+    exact_set_cover,
+    lp_rounding_set_cover,
+)
+from repro.covering.partial_cover import (
+    PartialCoverInstance,
+    greedy_partial_cover,
+    exact_partial_cover,
+)
+from repro.covering.vertex_cover import (
+    VertexCoverInstance,
+    greedy_vertex_cover,
+    matching_vertex_cover,
+    exact_vertex_cover,
+)
+from repro.covering.reductions import (
+    monitoring_from_set_cover,
+    set_cover_from_monitoring,
+)
+
+__all__ = [
+    "PartialCoverInstance",
+    "SetCoverInstance",
+    "VertexCoverInstance",
+    "exact_partial_cover",
+    "exact_set_cover",
+    "exact_vertex_cover",
+    "greedy_partial_cover",
+    "greedy_set_cover",
+    "greedy_vertex_cover",
+    "lp_rounding_set_cover",
+    "matching_vertex_cover",
+    "monitoring_from_set_cover",
+    "set_cover_from_monitoring",
+]

@@ -1,0 +1,148 @@
+"""Explicit instance transformations behind Theorem 1.
+
+Theorem 1 of the paper states that PPM(1), the full passive monitoring
+problem, is equivalent to Minimum Set Cover.  Both directions of the proof
+are constructive and implemented here:
+
+* :func:`monitoring_from_set_cover` -- from an arbitrary MSC instance build a
+  POP-like graph and a set of traffic paths such that optimal monitoring
+  solutions correspond to optimal covers (Figure 4 of the paper).
+* :func:`set_cover_from_monitoring` -- from a graph and weighted paths build
+  the MSC instance whose subsets are the links (each link covers the traffics
+  that traverse it).
+
+These reductions are used in tests to certify the equivalence on random
+instances, and by the PPM solvers to delegate the ``k = 1`` case to the set
+cover machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.covering.set_cover import SetCoverInstance
+
+#: An undirected edge identified by its (canonically ordered) endpoints.
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def edge_key(u: Hashable, v: Hashable) -> EdgeKey:
+    """Canonical (order-independent) key for an undirected edge."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass
+class MonitoringReduction:
+    """Result of reducing a Minimum Set Cover instance to PPM(1).
+
+    Attributes
+    ----------
+    graph:
+        The constructed POP-like graph.
+    paths:
+        One path (as a list of nodes) per element of the original universe,
+        keyed by element.
+    subset_edges:
+        Mapping from original subset label to the graph edge that represents
+        it; installing a monitor on that edge "selects" the subset.
+    """
+
+    graph: nx.Graph
+    paths: Dict[Hashable, List[Hashable]]
+    subset_edges: Dict[Hashable, EdgeKey]
+
+    def cover_from_edges(self, selected_edges: Iterable[EdgeKey]) -> List[Hashable]:
+        """Translate a set of monitored edges back into a set cover.
+
+        Edges of the form ``e_ij`` (the auxiliary cycle edges) are replaced by
+        one of the two subset edges they are adjacent to, as in the proof of
+        Theorem 1.
+        """
+        selected = {edge_key(*e) for e in selected_edges}
+        edge_to_subset = {edge: label for label, edge in self.subset_edges.items()}
+        cover: List[Hashable] = []
+        seen: Set[Hashable] = set()
+        for edge in selected:
+            if edge in edge_to_subset:
+                label = edge_to_subset[edge]
+            else:
+                # Auxiliary edge joining subsets i and j: its endpoints are
+                # named ("in", i) / ("out", i); either subset can stand in.
+                endpoint = edge[0]
+                label = endpoint[1]
+            if label not in seen:
+                seen.add(label)
+                cover.append(label)
+        return cover
+
+
+def monitoring_from_set_cover(instance: SetCoverInstance) -> MonitoringReduction:
+    """Build the PPM(1) instance of Theorem 1 from a set cover instance.
+
+    For each subset ``c_i`` the graph contains an edge
+    ``("in", i) -- ("out", i)``.  For every pair of intersecting subsets
+    ``c_i, c_j`` two auxiliary edges close a 4-cycle, so that a traffic that
+    must traverse both subset edges can hop from one to the other.  The path
+    of element ``u`` chains the subset edges of every subset containing
+    ``u``.
+    """
+    graph = nx.Graph()
+    labels = list(instance.subsets)
+    subset_edges: Dict[Hashable, EdgeKey] = {}
+    for label in labels:
+        u, v = ("in", label), ("out", label)
+        graph.add_edge(u, v)
+        subset_edges[label] = edge_key(u, v)
+
+    # Auxiliary cycle edges between intersecting subsets.
+    for i, li in enumerate(labels):
+        for lj in labels[i + 1 :]:
+            if instance.subsets[li] & instance.subsets[lj]:
+                graph.add_edge(("out", li), ("in", lj))
+                graph.add_edge(("out", lj), ("in", li))
+
+    paths: Dict[Hashable, List[Hashable]] = {}
+    for element in instance.universe:
+        containing = [label for label in labels if element in instance.subsets[label]]
+        if not containing:
+            raise ValueError(f"element {element!r} is not contained in any subset")
+        path: List[Hashable] = [("in", containing[0]), ("out", containing[0])]
+        for label in containing[1:]:
+            # Hop from the previous subset edge to the next one through the
+            # auxiliary edge, then traverse the next subset edge.
+            path.append(("in", label))
+            path.append(("out", label))
+        paths[element] = path
+    return MonitoringReduction(graph=graph, paths=paths, subset_edges=subset_edges)
+
+
+def set_cover_from_monitoring(
+    paths: Mapping[Hashable, Sequence[Hashable]],
+    weights: Mapping[Hashable, float] | None = None,
+) -> SetCoverInstance:
+    """Build the MSC instance whose subsets are links and elements traffics.
+
+    Parameters
+    ----------
+    paths:
+        Mapping traffic identifier -> path given as a sequence of nodes.
+    weights:
+        Ignored for the cover itself (PPM(1) must cover *every* traffic) but
+        accepted for symmetry with the partial-cover construction.
+
+    Returns
+    -------
+    SetCoverInstance
+        Universe = traffic identifiers, one subset per link containing the
+        traffics that traverse it.
+    """
+    subsets: Dict[EdgeKey, Set[Hashable]] = {}
+    for traffic_id, path in paths.items():
+        if len(path) < 2:
+            raise ValueError(f"traffic {traffic_id!r} has a path with fewer than 2 nodes")
+        for u, v in zip(path[:-1], path[1:]):
+            subsets.setdefault(edge_key(u, v), set()).add(traffic_id)
+    return SetCoverInstance(universe=set(paths), subsets=subsets)

@@ -1,0 +1,37 @@
+"""Network-flow substrate.
+
+Two flow problems underpin the paper's combinatorial framework:
+
+* the classical **minimum cost flow** (:mod:`repro.flows.min_cost_flow`),
+  used to re-optimize sampling rates in polynomial time when devices are
+  already installed (Section 5.4, problem PPME*);
+* the **Minimum Edge Cost Flow** (:mod:`repro.flows.mecf`), a flow problem
+  with *binary* arc costs that Section 4.3 proves equivalent to PPM(k)
+  (Theorem 2).  The same module builds the auxiliary graph of the reduction
+  and exposes the greedy heuristic reinterpreted as the LP relaxation of
+  MECF with ``1/load`` arc costs.
+"""
+
+from repro.flows.min_cost_flow import (
+    FlowNetwork,
+    MinCostFlowResult,
+    successive_shortest_paths,
+)
+from repro.flows.mecf import (
+    MECFInstance,
+    MECFResult,
+    build_mecf_instance,
+    solve_mecf_exact,
+    solve_mecf_relaxation,
+)
+
+__all__ = [
+    "FlowNetwork",
+    "MECFInstance",
+    "MECFResult",
+    "MinCostFlowResult",
+    "build_mecf_instance",
+    "solve_mecf_exact",
+    "solve_mecf_relaxation",
+    "successive_shortest_paths",
+]

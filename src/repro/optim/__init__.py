@@ -1,0 +1,54 @@
+"""Linear and mixed-integer programming substrate.
+
+This package is a small, self-contained modelling layer plus solvers used by
+the monitoring-placement formulations of the paper.  It plays the role that
+CPLEX plays in the original article:
+
+* :mod:`repro.optim.model` -- a declarative modelling API (variables, linear
+  expressions, constraints, objective) similar in spirit to PuLP.
+* :mod:`repro.optim.simplex` -- a dense two-phase primal simplex solver for
+  linear programs, written from scratch on top of numpy.
+* :mod:`repro.optim.branch_and_bound` -- a branch-and-bound driver turning any
+  LP solver into an exact mixed-integer solver.
+* :mod:`repro.optim.scipy_backend` -- an optional backend delegating to
+  SciPy's HiGHS interface (``scipy.optimize.linprog`` / ``milp``), which is
+  much faster on the larger experiment instances.
+
+The public entry point is :class:`repro.optim.model.Model`:
+
+>>> from repro.optim import Model
+>>> m = Model("example", sense="min")
+>>> x = m.add_var("x", lb=0.0)
+>>> y = m.add_var("y", vartype="binary")
+>>> m.add_constr(x + 2 * y >= 3, name="cover")
+>>> m.set_objective(x + 5 * y)
+>>> sol = m.solve()
+>>> round(sol.objective, 6)
+3.0
+"""
+
+from repro.optim.errors import (
+    InfeasibleError,
+    OptimError,
+    SolverError,
+    UnboundedError,
+)
+from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
+from repro.optim.solution import Solution, SolveStatus
+from repro.optim.backend import available_backends, solve_model
+
+__all__ = [
+    "Constraint",
+    "InfeasibleError",
+    "LinExpr",
+    "Model",
+    "OptimError",
+    "Solution",
+    "SolveStatus",
+    "SolverError",
+    "UnboundedError",
+    "Variable",
+    "available_backends",
+    "lin_sum",
+    "solve_model",
+]

@@ -1,0 +1,99 @@
+"""Backend selection and dispatch for solving models.
+
+The rest of the library never imports a solver directly; it calls
+:func:`solve_model` (usually through :meth:`repro.optim.Model.solve`) and the
+dispatcher picks an appropriate backend:
+
+* ``"scipy"`` -- HiGHS via SciPy, fastest, used by default when available.
+* ``"simplex"`` -- the in-house dense simplex; ignores integrality unless
+  wrapped by branch and bound.
+* ``"branch-and-bound"`` -- the in-house MILP solver (simplex at each node).
+* ``"auto"`` -- ``scipy`` when importable, otherwise the in-house solvers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.optim.errors import InfeasibleError, SolverError, UnboundedError
+from repro.optim.model import Model
+from repro.optim.solution import Solution, SolveStatus
+
+#: Canonical backend names accepted by :func:`solve_model`.
+BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
+
+
+def available_backends() -> List[str]:
+    """Return the list of backends usable in this environment."""
+    from repro.optim import scipy_backend
+
+    backends = ["simplex", "branch-and-bound"]
+    if scipy_backend.is_available():
+        backends.insert(0, "scipy")
+    return backends
+
+
+def solve_model(
+    model: Model,
+    backend: str = "auto",
+    raise_on_infeasible: bool = False,
+    **options,
+) -> Solution:
+    """Solve ``model`` with the requested backend.
+
+    Parameters
+    ----------
+    model:
+        The model to solve.
+    backend:
+        One of :data:`BACKENDS`.
+    raise_on_infeasible:
+        When True, infeasible / unbounded statuses raise
+        :class:`~repro.optim.errors.InfeasibleError` /
+        :class:`~repro.optim.errors.UnboundedError` instead of being returned.
+    options:
+        Backend-specific options (``max_nodes``, ``time_limit``, ``mip_gap``,
+        ``max_iter``).
+    """
+    if backend not in BACKENDS:
+        raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+    from repro.optim import scipy_backend
+
+    form = model.to_standard_form()
+
+    if backend == "auto":
+        backend = "scipy" if scipy_backend.is_available() else (
+            "branch-and-bound" if model.is_mip else "simplex"
+        )
+
+    if backend == "scipy":
+        if not scipy_backend.is_available():
+            raise SolverError("scipy backend requested but scipy is not importable")
+        if model.is_mip:
+            solution = scipy_backend.solve_mip(
+                form,
+                time_limit=options.get("time_limit"),
+                mip_gap=options.get("mip_gap"),
+            )
+        else:
+            solution = scipy_backend.solve_lp(form)
+    elif backend == "simplex":
+        from repro.optim.simplex import solve_standard_form
+
+        solution = solve_standard_form(form, max_iter=options.get("max_iter", 100_000))
+    else:  # branch-and-bound
+        from repro.optim.branch_and_bound import solve_milp
+
+        solution = solve_milp(
+            form,
+            max_nodes=options.get("max_nodes", 100_000),
+            gap_tol=options.get("gap_tol", 1e-9),
+        )
+
+    if raise_on_infeasible:
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"model {model.name!r} is infeasible")
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedError(f"model {model.name!r} is unbounded")
+    return solution

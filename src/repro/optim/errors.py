@@ -1,0 +1,28 @@
+"""Exception hierarchy for the optimization substrate."""
+
+
+class OptimError(Exception):
+    """Base class for every error raised by :mod:`repro.optim`."""
+
+
+class ModelError(OptimError):
+    """Raised when a model is built or used incorrectly.
+
+    Examples include adding a variable twice, mixing variables from two
+    different models in one expression, or asking for the value of a variable
+    before the model has been solved.
+    """
+
+
+class SolverError(OptimError):
+    """Raised when a solver backend fails for a reason other than the
+    mathematical status of the problem (bad options, unavailable backend,
+    numerical breakdown)."""
+
+
+class InfeasibleError(OptimError):
+    """Raised when the problem admits no feasible solution."""
+
+
+class UnboundedError(OptimError):
+    """Raised when the objective can be improved without bound."""

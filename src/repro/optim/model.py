@@ -1,0 +1,507 @@
+"""Declarative LP / MILP modelling layer.
+
+The classes in this module let the rest of the library express the paper's
+mathematical programs (Linear programs 1, 2 and 3, and the beacon-placement
+ILP) in a form close to the notation used in the article, while remaining
+independent of the solver backend used underneath.
+
+A :class:`Model` owns :class:`Variable` objects.  Arithmetic on variables
+builds :class:`LinExpr` objects, and comparisons (``<=``, ``>=``, ``==``)
+build :class:`Constraint` objects that can be added to the model.  The model
+can then be lowered to a :class:`StandardForm` (dense numpy arrays) consumed
+by the solvers in :mod:`repro.optim.simplex`,
+:mod:`repro.optim.branch_and_bound` and :mod:`repro.optim.scipy_backend`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.optim.errors import ModelError
+from repro.optim.solution import Solution
+
+Number = Union[int, float]
+
+#: Variable types understood by the modelling layer.
+VARTYPES = ("continuous", "integer", "binary")
+
+#: Constraint senses, using the conventional two-character spellings.
+SENSES = ("<=", ">=", "==")
+
+
+class Variable:
+    """A decision variable belonging to a :class:`Model`.
+
+    Variables are created through :meth:`Model.add_var`; constructing them
+    directly is possible but they must still be registered with the model to
+    be part of a solve.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vartype", "index", "_model")
+
+    def __init__(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vartype: str = "continuous",
+        index: int = -1,
+        model: Optional["Model"] = None,
+    ) -> None:
+        if vartype not in VARTYPES:
+            raise ModelError(f"unknown variable type {vartype!r}")
+        if vartype == "binary":
+            # Clamp instead of overriding so callers can fix a binary to 0 or 1
+            # by passing lb=ub (used by the incremental placement variants).
+            lb = max(0.0, lb)
+            ub = min(1.0, ub)
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}")
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vartype = vartype
+        self.index = index
+        self._model = model
+
+    # -- arithmetic -------------------------------------------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return (-self._as_expr()) + other
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        return self._as_expr() * coeff
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, denom: Number) -> "LinExpr":
+        return self._as_expr() / denom
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    # -- comparisons build constraints -------------------------------------
+    def __le__(self, other: Union["Variable", "LinExpr", Number]) -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other: Union["Variable", "LinExpr", Number]) -> "Constraint":
+        return self._as_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    @property
+    def is_integer(self) -> bool:
+        """True for ``integer`` and ``binary`` variables."""
+        return self.vartype in ("integer", "binary")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variable({self.name!r}, [{self.lb}, {self.ub}], {self.vartype})"
+
+
+class LinExpr:
+    """An affine expression ``sum_i coeff_i * var_i + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Mapping[Variable, float]] = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.terms: Dict[Variable, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    def copy(self) -> "LinExpr":
+        """Return an independent copy of the expression."""
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic -------------------------------------------------------
+    @staticmethod
+    def _coerce(other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._as_expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, float(other))
+        raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        rhs = self._coerce(other)
+        out = self.copy()
+        for var, coeff in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coeff
+        out.constant += rhs.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, coeff: Number) -> "LinExpr":
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("LinExpr can only be multiplied by a scalar")
+        return LinExpr({v: c * coeff for v, c in self.terms.items()}, self.constant * coeff)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, denom: Number) -> "LinExpr":
+        if denom == 0:
+            raise ZeroDivisionError("division of LinExpr by zero")
+        return self * (1.0 / denom)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons ------------------------------------------------------
+    def __le__(self, other: Union["LinExpr", Variable, Number]) -> "Constraint":
+        return Constraint(self - self._coerce(other), "<=")
+
+    def __ge__(self, other: Union["LinExpr", Variable, Number]) -> "Constraint":
+        return Constraint(self - self._coerce(other), ">=")
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint(self - self._coerce(other), "==")
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- evaluation -------------------------------------------------------
+    def value(self, assignment: Mapping[str, float]) -> float:
+        """Evaluate the expression under a name -> value assignment."""
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * assignment[var.name]
+        return total
+
+    def variables(self) -> List[Variable]:
+        """Return the variables appearing with a non-zero coefficient."""
+        return [v for v, c in self.terms.items() if c != 0.0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{c:+g}*{v.name}" for v, c in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+def lin_sum(items: Iterable[Union[LinExpr, Variable, Number]]) -> LinExpr:
+    """Sum an iterable of variables / expressions / numbers into a LinExpr.
+
+    This avoids the quadratic behaviour of ``sum()`` on large generators of
+    expressions and mirrors PuLP's ``lpSum``.
+    """
+    out = LinExpr()
+    for item in items:
+        rhs = LinExpr._coerce(item)
+        for var, coeff in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coeff
+        out.constant += rhs.constant
+    return out
+
+
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``.
+
+    The expression stored already has the right-hand side folded into its
+    constant term, i.e. the constraint reads ``expr.terms + expr.constant
+    sense 0``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = "") -> None:
+        if sense not in SENSES:
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side once variables are moved to the left."""
+        return -self.expr.constant
+
+    def coefficients(self) -> Dict[Variable, float]:
+        """Mapping variable -> coefficient on the left-hand side."""
+        return {v: c for v, c in self.expr.terms.items() if c != 0.0}
+
+    def is_satisfied(self, assignment: Mapping[str, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under a name -> value assignment."""
+        lhs = sum(c * assignment[v.name] for v, c in self.expr.terms.items())
+        rhs = self.rhs
+        if self.sense == "<=":
+            return lhs <= rhs + tol
+        if self.sense == ">=":
+            return lhs >= rhs - tol
+        return abs(lhs - rhs) <= tol
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense} {self.rhs:g}"
+
+
+@dataclass
+class StandardForm:
+    """Dense matrix form of a model, in minimization sense.
+
+    ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``
+    and ``lb <= x <= ub``; ``integrality[i]`` is 1 when variable ``i`` must be
+    integral.
+    """
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray
+    names: List[str] = field(default_factory=list)
+    objective_offset: float = 0.0
+    maximize: bool = False
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.c)
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Objective in the *original* sense for a point ``x``."""
+        value = float(self.c @ x) + self.objective_offset
+        return -value if self.maximize else value
+
+
+class Model:
+    """Container for variables, constraints and an objective.
+
+    Parameters
+    ----------
+    name:
+        Free-form label used in error messages and reports.
+    sense:
+        Either ``"min"`` or ``"max"``.
+    """
+
+    def __init__(self, name: str = "model", sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        self.name = name
+        self.sense = sense
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._vars_by_name: Dict[str, Variable] = {}
+        self._solution: Optional[Solution] = None
+
+    # -- building ---------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vartype: str = "continuous",
+    ) -> Variable:
+        """Create, register and return a new variable.
+
+        Raises
+        ------
+        ModelError
+            If a variable with the same name already exists.
+        """
+        if name in self._vars_by_name:
+            raise ModelError(f"variable {name!r} already exists in model {self.name!r}")
+        var = Variable(name, lb=lb, ub=ub, vartype=vartype, index=len(self.variables), model=self)
+        self.variables.append(var)
+        self._vars_by_name[name] = var
+        return var
+
+    def add_vars(
+        self,
+        names: Sequence[str],
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vartype: str = "continuous",
+    ) -> Dict[str, Variable]:
+        """Create several variables at once, returned as a name -> var dict."""
+        return {name: self.add_var(name, lb=lb, ub=ub, vartype=vartype) for name in names}
+
+    def get_var(self, name: str) -> Variable:
+        """Return the registered variable called ``name``."""
+        try:
+            return self._vars_by_name[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r} in model {self.name!r}") from None
+
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (optionally renaming it) and return it."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint; "
+                "did you write a boolean expression instead of <=, >= or ==?"
+            )
+        if name:
+            constraint.name = name
+        elif not constraint.name:
+            constraint.name = f"c{len(self.constraints)}"
+        for var in constraint.expr.terms:
+            self._check_owned(var)
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: Union[LinExpr, Variable, Number], sense: Optional[str] = None) -> None:
+        """Set the objective expression (and optionally flip the sense)."""
+        if sense is not None:
+            if sense not in ("min", "max"):
+                raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+            self.sense = sense
+        self.objective = LinExpr._coerce(expr).copy()
+        for var in self.objective.terms:
+            self._check_owned(var)
+
+    def _check_owned(self, var: Variable) -> None:
+        owner = self._vars_by_name.get(var.name)
+        if owner is not var:
+            raise ModelError(
+                f"variable {var.name!r} does not belong to model {self.name!r}"
+            )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(1 for v in self.variables if v.is_integer)
+
+    @property
+    def is_mip(self) -> bool:
+        """True when at least one variable is integer or binary."""
+        return self.num_integer_vars > 0
+
+    # -- lowering -----------------------------------------------------------
+    def to_standard_form(self) -> StandardForm:
+        """Lower the model to dense arrays in minimization sense."""
+        n = self.num_vars
+        c = np.zeros(n)
+        for var, coeff in self.objective.terms.items():
+            c[var.index] += coeff
+        offset = self.objective.constant
+        maximize = self.sense == "max"
+        if maximize:
+            c = -c
+            offset = -offset
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constr in self.constraints:
+            row = np.zeros(n)
+            for var, coeff in constr.expr.terms.items():
+                row[var.index] += coeff
+            rhs = constr.rhs
+            if constr.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constr.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        A_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
+        A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        return StandardForm(
+            c=c,
+            A_ub=A_ub,
+            b_ub=np.array(ub_rhs, dtype=float),
+            A_eq=A_eq,
+            b_eq=np.array(eq_rhs, dtype=float),
+            lb=np.array([v.lb for v in self.variables], dtype=float),
+            ub=np.array([v.ub for v in self.variables], dtype=float),
+            integrality=np.array([1 if v.is_integer else 0 for v in self.variables]),
+            names=[v.name for v in self.variables],
+            objective_offset=offset,
+            maximize=maximize,
+        )
+
+    # -- solving ------------------------------------------------------------
+    def solve(self, backend: str = "auto", **options) -> Solution:
+        """Solve the model and cache/return the :class:`Solution`.
+
+        ``backend`` is one of ``"auto"``, ``"scipy"``, ``"simplex"`` or
+        ``"branch-and-bound"``; see :func:`repro.optim.backend.solve_model`.
+        """
+        from repro.optim.backend import solve_model
+
+        solution = solve_model(self, backend=backend, **options)
+        self._solution = solution
+        return solution
+
+    @property
+    def solution(self) -> Solution:
+        """Last solution produced by :meth:`solve`."""
+        if self._solution is None:
+            raise ModelError(f"model {self.name!r} has not been solved yet")
+        return self._solution
+
+    def value(self, item: Union[Variable, LinExpr, str]) -> float:
+        """Value of a variable, variable name or expression in the last solution."""
+        sol = self.solution
+        if isinstance(item, str):
+            return sol.value(item)
+        if isinstance(item, Variable):
+            return sol.value(item.name)
+        if isinstance(item, LinExpr):
+            return item.value(sol.values)
+        raise ModelError(f"cannot evaluate object of type {type(item).__name__}")
+
+    def check_feasible(self, assignment: Mapping[str, float], tol: float = 1e-6) -> bool:
+        """Check whether an assignment satisfies every constraint and bound."""
+        for var in self.variables:
+            val = assignment[var.name]
+            if val < var.lb - tol or val > var.ub + tol:
+                return False
+            if var.is_integer and abs(val - round(val)) > tol:
+                return False
+        return all(c.is_satisfied(assignment, tol=tol) for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "MILP" if self.is_mip else "LP"
+        return (
+            f"Model({self.name!r}, {kind}, {self.num_vars} vars, "
+            f"{self.num_constraints} constraints, sense={self.sense})"
+        )

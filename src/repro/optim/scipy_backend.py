@@ -1,0 +1,122 @@
+"""SciPy (HiGHS) backend for the modelling layer.
+
+SciPy bundles the HiGHS LP/MILP solver, which is considerably faster than the
+in-house simplex/branch-and-bound on the larger experiment instances (for
+example the 80-router POP of Figure 11).  This backend is optional: when
+SciPy is not importable the rest of the library transparently falls back to
+the pure-Python solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.optim.errors import SolverError
+from repro.optim.model import StandardForm
+from repro.optim.solution import Solution, SolveStatus
+
+try:  # pragma: no cover - exercised implicitly by is_available()
+    from scipy.optimize import LinearConstraint, Bounds, linprog, milp
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - environment without scipy
+    _HAVE_SCIPY = False
+
+
+def is_available() -> bool:
+    """Return True when the SciPy/HiGHS backend can be used."""
+    return _HAVE_SCIPY
+
+
+def _status_from_scipy(success: bool, status_code: int) -> SolveStatus:
+    if success:
+        return SolveStatus.OPTIMAL
+    if status_code == 2:
+        return SolveStatus.INFEASIBLE
+    if status_code == 3:
+        return SolveStatus.UNBOUNDED
+    if status_code == 1:
+        return SolveStatus.ITERATION_LIMIT
+    return SolveStatus.ERROR
+
+
+def solve_lp(form: StandardForm) -> Solution:
+    """Solve the continuous relaxation of ``form`` with HiGHS."""
+    if not _HAVE_SCIPY:
+        raise SolverError("scipy is not available; use the 'simplex' backend instead")
+    res = linprog(
+        c=form.c,
+        A_ub=form.A_ub if form.A_ub.size else None,
+        b_ub=form.b_ub if form.b_ub.size else None,
+        A_eq=form.A_eq if form.A_eq.size else None,
+        b_eq=form.b_eq if form.b_eq.size else None,
+        bounds=list(zip(form.lb, form.ub)),
+        method="highs",
+    )
+    status = _status_from_scipy(res.success, res.status)
+    if status is not SolveStatus.OPTIMAL:
+        return Solution(status=status, backend="scipy-linprog")
+    values = {name: float(res.x[i]) for i, name in enumerate(form.names)}
+    return Solution(
+        status=status,
+        objective=form.objective_value(res.x),
+        values=values,
+        backend="scipy-linprog",
+        iterations=int(getattr(res, "nit", 0) or 0),
+    )
+
+
+def solve_mip(
+    form: StandardForm,
+    time_limit: Optional[float] = None,
+    mip_gap: Optional[float] = None,
+) -> Solution:
+    """Solve ``form`` as a mixed-integer program with HiGHS.
+
+    ``time_limit`` (seconds) and ``mip_gap`` (relative optimality gap) bound
+    the solve; when either is hit the best incumbent found so far is returned
+    with status ``ITERATION_LIMIT`` and its gap reported in
+    :attr:`~repro.optim.solution.Solution.gap`.
+    """
+    if not _HAVE_SCIPY:
+        raise SolverError("scipy is not available; use the 'branch-and-bound' backend instead")
+    constraints = []
+    if form.A_ub.size:
+        constraints.append(LinearConstraint(form.A_ub, -np.inf, form.b_ub))
+    if form.A_eq.size:
+        constraints.append(LinearConstraint(form.A_eq, form.b_eq, form.b_eq))
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if mip_gap is not None:
+        options["mip_rel_gap"] = float(mip_gap)
+    res = milp(
+        c=form.c,
+        constraints=constraints or None,
+        bounds=Bounds(form.lb, form.ub),
+        integrality=form.integrality,
+        options=options or None,
+    )
+    if res.x is None:
+        status = _status_from_scipy(res.success, res.status)
+        if status is SolveStatus.OPTIMAL:
+            status = SolveStatus.ERROR
+        return Solution(status=status, backend="scipy-milp")
+    x = np.asarray(res.x, dtype=float)
+    # Snap integer variables, HiGHS returns values within its own tolerance.
+    for i, flag in enumerate(form.integrality):
+        if flag:
+            x[i] = round(x[i])
+    status = _status_from_scipy(res.success, res.status)
+    values = {name: float(x[i]) for i, name in enumerate(form.names)}
+    gap = float(getattr(res, "mip_gap", 0.0) or 0.0)
+    return Solution(
+        status=status,
+        objective=form.objective_value(x),
+        values=values,
+        backend="scipy-milp",
+        iterations=int(getattr(res, "mip_node_count", 0) or 0),
+        gap=gap,
+    )

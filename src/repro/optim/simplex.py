@@ -1,0 +1,303 @@
+"""Dense two-phase primal simplex solver.
+
+This module implements a from-scratch LP solver on top of numpy, used both as
+a standalone backend for the paper's linear relaxations and as the node
+solver of :mod:`repro.optim.branch_and_bound`.  The instances appearing in
+the paper are small (tens to a few thousand variables), so a dense tableau
+with Bland's anti-cycling rule is both simple and sufficient.
+
+The entry point is :func:`solve_standard_form`, which consumes the
+:class:`repro.optim.model.StandardForm` produced by
+:meth:`repro.optim.model.Model.to_standard_form`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.optim.errors import SolverError
+from repro.optim.model import StandardForm
+from repro.optim.solution import Solution, SolveStatus
+
+#: Numerical tolerance used throughout the simplex implementation.
+EPS = 1e-9
+
+
+@dataclass
+class _CanonicalLP:
+    """LP in the canonical form ``min c @ y`` s.t. ``A @ y == b``, ``y >= 0``.
+
+    ``recover`` maps a canonical solution vector back to the original
+    variable space (undoing bound shifts and free-variable splits).
+    """
+
+    c: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    plus_index: np.ndarray
+    minus_index: np.ndarray
+    shift: np.ndarray
+    n_original: int
+
+    def recover(self, y: np.ndarray) -> np.ndarray:
+        x = np.zeros(self.n_original)
+        for j in range(self.n_original):
+            value = y[self.plus_index[j]]
+            if self.minus_index[j] >= 0:
+                value -= y[self.minus_index[j]]
+            x[j] = value + self.shift[j]
+        return x
+
+
+def _canonicalize(form: StandardForm) -> _CanonicalLP:
+    """Rewrite a :class:`StandardForm` into equality canonical form.
+
+    Bounded variables are shifted so their lower bound becomes zero; free
+    variables are split into a difference of two non-negative variables;
+    finite upper bounds become explicit ``<=`` rows; finally slack variables
+    turn every inequality into an equality.
+    """
+    n = form.num_vars
+    plus_index = np.zeros(n, dtype=int)
+    minus_index = np.full(n, -1, dtype=int)
+    shift = np.zeros(n)
+
+    columns = 0
+    extra_ub_rows: List[Tuple[int, float]] = []  # (original var index, shifted upper bound)
+    for j in range(n):
+        lb, ub = form.lb[j], form.ub[j]
+        if math.isinf(lb) and lb < 0:
+            plus_index[j] = columns
+            minus_index[j] = columns + 1
+            columns += 2
+            shift[j] = 0.0
+            if not math.isinf(ub):
+                extra_ub_rows.append((j, ub))
+        else:
+            plus_index[j] = columns
+            columns += 1
+            shift[j] = lb
+            if not math.isinf(ub):
+                extra_ub_rows.append((j, ub - lb))
+
+    def expand_row(row: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Expand an original-space row into canonical columns.
+
+        Returns the expanded row and the constant to subtract from the RHS
+        caused by lower-bound shifts.
+        """
+        new_row = np.zeros(columns)
+        offset = 0.0
+        for j in range(n):
+            coeff = row[j]
+            if coeff == 0.0:
+                continue
+            new_row[plus_index[j]] += coeff
+            if minus_index[j] >= 0:
+                new_row[minus_index[j]] -= coeff
+            offset += coeff * shift[j]
+        return new_row, offset
+
+    ub_rows: List[np.ndarray] = []
+    ub_rhs: List[float] = []
+    for i in range(form.A_ub.shape[0]):
+        row, offset = expand_row(form.A_ub[i])
+        ub_rows.append(row)
+        ub_rhs.append(form.b_ub[i] - offset)
+    for j, bound in extra_ub_rows:
+        row = np.zeros(columns)
+        row[plus_index[j]] = 1.0
+        if minus_index[j] >= 0:
+            row[minus_index[j]] = -1.0
+        ub_rows.append(row)
+        ub_rhs.append(bound)
+
+    eq_rows: List[np.ndarray] = []
+    eq_rhs: List[float] = []
+    for i in range(form.A_eq.shape[0]):
+        row, offset = expand_row(form.A_eq[i])
+        eq_rows.append(row)
+        eq_rhs.append(form.b_eq[i] - offset)
+
+    n_slack = len(ub_rows)
+    total_cols = columns + n_slack
+    n_rows = len(ub_rows) + len(eq_rows)
+    A = np.zeros((n_rows, total_cols))
+    b = np.zeros(n_rows)
+    for i, (row, rhs) in enumerate(zip(ub_rows, ub_rhs)):
+        A[i, :columns] = row
+        A[i, columns + i] = 1.0
+        b[i] = rhs
+    for i, (row, rhs) in enumerate(zip(eq_rows, eq_rhs)):
+        A[len(ub_rows) + i, :columns] = row
+        b[len(ub_rows) + i] = rhs
+
+    c = np.zeros(total_cols)
+    for j in range(n):
+        coeff = form.c[j]
+        c[plus_index[j]] += coeff
+        if minus_index[j] >= 0:
+            c[minus_index[j]] -= coeff
+
+    # Normalize rows so every right-hand side is non-negative.
+    for i in range(n_rows):
+        if b[i] < 0:
+            A[i] = -A[i]
+            b[i] = -b[i]
+
+    return _CanonicalLP(
+        c=c,
+        A=A,
+        b=b,
+        plus_index=plus_index,
+        minus_index=minus_index,
+        shift=shift,
+        n_original=n,
+    )
+
+
+def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
+    """Perform a pivot on ``tableau`` at (row, col), updating the basis."""
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > EPS:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_iterations(
+    tableau: np.ndarray,
+    basis: List[int],
+    allowed_cols: int,
+    max_iter: int,
+) -> Tuple[str, int]:
+    """Run primal simplex iterations on a tableau whose last row holds
+    reduced costs and whose last column holds the right-hand side.
+
+    Returns ``(status, iterations)`` with status ``"optimal"`` or
+    ``"unbounded"``.  Bland's rule (smallest index) is used for both the
+    entering and leaving variable, which guarantees termination.
+    """
+    m = tableau.shape[0] - 1
+    iterations = 0
+    while iterations < max_iter:
+        cost_row = tableau[-1, :allowed_cols]
+        entering = -1
+        for j in range(allowed_cols):
+            if cost_row[j] < -EPS:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal", iterations
+
+        leaving = -1
+        best_ratio = math.inf
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > EPS:
+                ratio = tableau[i, -1] / coeff
+                if ratio < best_ratio - EPS or (
+                    abs(ratio - best_ratio) <= EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded", iterations
+
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+    raise SolverError(f"simplex did not converge within {max_iter} iterations")
+
+
+def _solve_canonical(lp: _CanonicalLP, max_iter: int) -> Tuple[str, Optional[np.ndarray], int]:
+    """Two-phase simplex on a canonical LP.
+
+    Returns ``(status, y, iterations)`` where ``y`` is the canonical solution
+    vector when status is ``"optimal"``.
+    """
+    m, n = lp.A.shape
+    if m == 0:
+        # No constraints: minimize over y >= 0, optimum is 0 for non-negative
+        # costs and unbounded otherwise.
+        if np.any(lp.c < -EPS):
+            return "unbounded", None, 0
+        return "optimal", np.zeros(n), 0
+
+    # Phase 1: artificial variables form the initial basis.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = lp.A
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = lp.b
+    basis = list(range(n, n + m))
+    # Phase-1 objective: sum of artificials, expressed in reduced-cost form.
+    tableau[-1, :n] = -lp.A.sum(axis=0)
+    tableau[-1, -1] = -lp.b.sum()
+
+    status, iters1 = _simplex_iterations(tableau, basis, allowed_cols=n + m, max_iter=max_iter)
+    if status != "optimal":
+        raise SolverError("phase-1 simplex reported an unbounded auxiliary problem")
+    if tableau[-1, -1] < -1e-7:
+        return "infeasible", None, iters1
+
+    # Drive any artificial variable still in the basis out of it.
+    for i in range(m):
+        if basis[i] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[i, j]) > EPS:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, i, pivot_col)
+            # If the row is all zeros over structural columns it is redundant
+            # and the artificial can stay at value zero harmlessly.
+
+    # Phase 2: restore the true objective as reduced costs.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = lp.c
+    for i in range(m):
+        if basis[i] < n and abs(lp.c[basis[i]]) > EPS:
+            tableau[-1] -= lp.c[basis[i]] * tableau[i]
+    # Forbid artificial columns from re-entering.
+    tableau[-1, n : n + m] = math.inf
+
+    status, iters2 = _simplex_iterations(tableau, basis, allowed_cols=n, max_iter=max_iter)
+    total_iters = iters1 + iters2
+    if status == "unbounded":
+        return "unbounded", None, total_iters
+
+    y = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            y[basis[i]] = tableau[i, -1]
+    return "optimal", y, total_iters
+
+
+def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:
+    """Solve the LP relaxation of a :class:`StandardForm` with the simplex.
+
+    Integrality markers are ignored; use
+    :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
+    """
+    lp = _canonicalize(form)
+    status, y, iterations = _solve_canonical(lp, max_iter=max_iter)
+    if status == "infeasible":
+        return Solution(status=SolveStatus.INFEASIBLE, backend="simplex", iterations=iterations)
+    if status == "unbounded":
+        return Solution(status=SolveStatus.UNBOUNDED, backend="simplex", iterations=iterations)
+    assert y is not None
+    x = lp.recover(y)
+    values = {name: float(x[i]) for i, name in enumerate(form.names)}
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=form.objective_value(x),
+        values=values,
+        backend="simplex",
+        iterations=iterations,
+    )

@@ -1,0 +1,85 @@
+"""Solution objects returned by the LP / MILP solvers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+class SolveStatus(enum.Enum):
+    """Status of a solve attempt."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solver proved optimality."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of solving a model.
+
+    Attributes
+    ----------
+    status:
+        Outcome of the solve.
+    objective:
+        Objective value in the *model's* sense (i.e. already negated back for
+        maximization problems).  ``None`` unless a feasible point was found.
+    values:
+        Mapping from variable name to value.  Empty unless a feasible point
+        was found.
+    backend:
+        Name of the backend that produced the solution.
+    iterations:
+        Simplex iterations (LP) or branch-and-bound nodes explored (MILP),
+        when the backend reports them.
+    gap:
+        Relative optimality gap for MILP solves that stopped at a limit;
+        0.0 for proven optima.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[str, float] = field(default_factory=dict)
+    backend: str = ""
+    iterations: int = 0
+    gap: float = 0.0
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solution is proven optimal."""
+        return self.status.is_optimal
+
+    def value(self, name: str) -> float:
+        """Return the value of variable ``name``.
+
+        Raises
+        ------
+        KeyError
+            If the variable is not part of the solution.
+        """
+        return self.values[name]
+
+    def nonzeros(self, tol: float = 1e-9) -> Dict[str, float]:
+        """Return only the variables whose value exceeds ``tol`` in magnitude."""
+        return {k: v for k, v in self.values.items() if abs(v) > tol}
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Return a read-only view of all variable values."""
+        return dict(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        obj = "None" if self.objective is None else f"{self.objective:.6g}"
+        return (
+            f"Solution(status={self.status.value!r}, objective={obj}, "
+            f"nvars={len(self.values)}, backend={self.backend!r})"
+        )

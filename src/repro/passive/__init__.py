@@ -1,0 +1,72 @@
+"""Passive monitoring placement -- the paper's primary contribution.
+
+This package implements Sections 4 and 5 of the paper:
+
+* :mod:`repro.passive.problem` -- the PPM(k) problem object (a traffic matrix
+  plus a coverage target) and the :class:`PlacementResult` returned by every
+  solver;
+* :mod:`repro.passive.greedy` -- the classical "most loaded link first"
+  greedy heuristic used as the baseline in Figures 7 and 8;
+* :mod:`repro.passive.ilp` -- the MIP formulations (Linear programs 1 and 2),
+  including the incremental and budget-limited variants discussed in
+  Section 4.3;
+* :mod:`repro.passive.costs` -- setup / exploitation cost models;
+* :mod:`repro.passive.sampling` -- PPME(h, k), the sampling-aware placement
+  MILP of Section 5.3 (Linear program 3);
+* :mod:`repro.passive.dynamic` -- PPME*(x, h, k), the polynomial
+  re-optimization of sampling rates under traffic drift, and the threshold
+  controller of Section 5.4;
+* :mod:`repro.passive.semantics` -- evaluation of a placement under the
+  additive (marking), independent-sampling and monitor-once coverage
+  semantics discussed in Section 5.2;
+* :mod:`repro.passive.campaign` -- the "measurement campaign" extension from
+  the paper's conclusion: re-route demands to maximize the volume seen by
+  already-installed monitors.
+"""
+
+from repro.passive.problem import PPMProblem, PlacementResult
+from repro.passive.greedy import solve_greedy
+from repro.passive.ilp import (
+    expected_gain,
+    solve_arc_path_ilp,
+    solve_budget_limited,
+    solve_ilp,
+    solve_incremental,
+    solve_max_coverage,
+)
+from repro.passive.costs import LinkCostModel, uniform_costs, capacity_scaled_costs
+from repro.passive.sampling import SamplingPlacement, SamplingProblem, solve_ppme
+from repro.passive.dynamic import (
+    DynamicMonitoringController,
+    TrafficDriftModel,
+    reoptimize_sampling_rates,
+)
+from repro.passive.semantics import CoverageSemantics, compare_semantics, evaluate_coverage
+from repro.passive.campaign import CampaignResult, k_shortest_paths, optimize_routing_for_monitoring
+
+__all__ = [
+    "CampaignResult",
+    "CoverageSemantics",
+    "DynamicMonitoringController",
+    "LinkCostModel",
+    "PPMProblem",
+    "PlacementResult",
+    "SamplingPlacement",
+    "SamplingProblem",
+    "TrafficDriftModel",
+    "capacity_scaled_costs",
+    "compare_semantics",
+    "evaluate_coverage",
+    "expected_gain",
+    "k_shortest_paths",
+    "optimize_routing_for_monitoring",
+    "reoptimize_sampling_rates",
+    "solve_arc_path_ilp",
+    "solve_budget_limited",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_incremental",
+    "solve_max_coverage",
+    "solve_ppme",
+    "uniform_costs",
+]

@@ -1,0 +1,252 @@
+"""MIP formulations of PPM(k): Linear programs 1 and 2, plus variants.
+
+Section 4.3 of the paper gives two equivalent mixed-integer formulations of
+the partial passive monitoring problem:
+
+* **Linear program 1** (arc-path flow form): binary ``x_e`` opens the arc
+  ``S -> w_e`` of the MECF auxiliary graph, continuous ``f_t^e`` carries the
+  volume of traffic ``t`` monitored on link ``e``;
+* **Linear program 2** (compact form): binary ``x_e`` places a device on link
+  ``e``, continuous ``δ_t in [0, 1]`` is the fraction of traffic ``t``
+  accounted as monitored, constrained by ``sum_{e in p_t} x_e >= δ_t``.
+
+The compact formulation "also allows to compute an incremental solution"
+(fix the already-installed devices and optimize only the rest) and, "with
+only a slight modification", the best positioning of a *limited number* of
+devices.  All those variants are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.flows.mecf import solve_mecf_exact
+from repro.optim import Model, lin_sum
+from repro.optim.errors import InfeasibleError
+from repro.passive.problem import PPMProblem, PlacementResult
+from repro.topology.pop import LinkKey, link_key
+
+
+def _link_traffic_incidence(problem: PPMProblem) -> Dict[LinkKey, List[Hashable]]:
+    """Map each candidate link to the traffics crossing it."""
+    incidence: Dict[LinkKey, List[Hashable]] = {l: [] for l in problem.candidate_links}
+    for traffic in problem.traffic:
+        for link in traffic.links:
+            if link in incidence:
+                incidence[link].append(traffic.traffic_id)
+    return incidence
+
+
+def _normalize_links(links: Iterable[LinkKey]) -> List[LinkKey]:
+    return [link_key(*l) for l in links]
+
+
+def solve_ilp(
+    problem: PPMProblem,
+    backend: str = "auto",
+    fixed_links: Iterable[LinkKey] = (),
+    max_devices: Optional[int] = None,
+    **solver_options,
+) -> PlacementResult:
+    """Solve PPM(k) exactly with the compact formulation (Linear program 2).
+
+    Parameters
+    ----------
+    problem:
+        The PPM(k) instance.
+    backend:
+        Solver backend passed to :meth:`repro.optim.Model.solve`.
+    fixed_links:
+        Links whose device is already installed; the corresponding ``x_e`` are
+        fixed to 1 and not paid for in the *incremental* objective (they are
+        still counted in the returned placement).
+    max_devices:
+        Optional cap on the total number of devices (fixed ones included).
+    solver_options:
+        Extra options forwarded to the solver backend, e.g. ``time_limit`` or
+        ``mip_gap`` for the large partial-coverage instances of Figure 8.
+
+    Raises
+    ------
+    InfeasibleError
+        When the coverage target cannot be met, possibly because of the
+        device cap.
+    """
+    fixed = set(_normalize_links(fixed_links))
+    unknown_fixed = fixed - set(problem.candidate_links)
+    if unknown_fixed:
+        raise ValueError(f"fixed links are not candidate links: {sorted(map(str, unknown_fixed))}")
+
+    model = Model("ppm-lp2", sense="min")
+    links = problem.candidate_links
+    traffics = list(problem.traffic)
+
+    x = {}
+    for i, link in enumerate(links):
+        if link in fixed:
+            # Already-installed devices are constants equal to 1 in the paper's
+            # incremental variant; model them as fixed binaries.
+            x[link] = model.add_var(f"x[{i}]", lb=1.0, ub=1.0, vartype="binary")
+        else:
+            x[link] = model.add_var(f"x[{i}]", vartype="binary")
+    delta = {t.traffic_id: model.add_var(f"delta[{j}]", lb=0.0, ub=1.0) for j, t in enumerate(traffics)}
+
+    candidate_set = set(links)
+    for traffic in traffics:
+        crossing = [l for l in traffic.links if l in candidate_set]
+        if crossing:
+            model.add_constr(
+                lin_sum(x[l] for l in crossing) >= delta[traffic.traffic_id],
+                name=f"monitor[{traffic.traffic_id}]",
+            )
+        else:
+            model.add_constr(delta[traffic.traffic_id] <= 0, name=f"monitor[{traffic.traffic_id}]")
+
+    model.add_constr(
+        lin_sum(t.volume * delta[t.traffic_id] for t in traffics) >= problem.required_volume,
+        name="coverage",
+    )
+    if max_devices is not None:
+        if max_devices < len(fixed):
+            raise InfeasibleError(
+                f"max_devices={max_devices} is below the {len(fixed)} already-installed devices"
+            )
+        model.add_constr(lin_sum(x[l] for l in links) <= max_devices, name="budget")
+
+    # Fixed devices contribute a constant to the objective; leaving them out
+    # matches the incremental reading, adding them only shifts the optimum.
+    model.set_objective(lin_sum(x[l] for l in links if l not in fixed))
+    solution = model.solve(backend=backend, raise_on_infeasible=True, **solver_options)
+
+    selected = [l for l in links if solution.value(x[l].name) > 0.5]
+    return problem.make_result(
+        selected,
+        method="ilp",
+        objective=len(selected),
+        fixed_links=fixed,
+    )
+
+
+def solve_arc_path_ilp(problem: PPMProblem, backend: str = "auto") -> PlacementResult:
+    """Solve PPM(k) with the arc-path flow formulation (Linear program 1).
+
+    This is a thin wrapper over :func:`repro.flows.mecf.solve_mecf_exact`,
+    since Linear program 1 *is* the MIP encoding of the MECF instance of
+    Theorem 2.
+    """
+    result = solve_mecf_exact(problem.to_mecf_instance(), backend=backend)
+    return problem.make_result(result.selected_edges, method="ilp-arc-path")
+
+
+def solve_incremental(
+    problem: PPMProblem,
+    existing_links: Iterable[LinkKey],
+    backend: str = "auto",
+) -> PlacementResult:
+    """Best way to complete an existing deployment up to the coverage target.
+
+    The devices in ``existing_links`` cannot move; the solver only decides
+    where to put the additional ones (Section 4.3, incremental solution).
+    """
+    return solve_ilp(problem, backend=backend, fixed_links=existing_links)
+
+
+def solve_budget_limited(
+    problem: PPMProblem,
+    max_devices: int,
+    backend: str = "auto",
+    fixed_links: Iterable[LinkKey] = (),
+) -> PlacementResult:
+    """Reach the coverage target with at most ``max_devices`` devices.
+
+    Raises :class:`~repro.optim.errors.InfeasibleError` when the budget is too
+    small for the requested coverage; use :func:`solve_max_coverage` to get
+    the best coverage achievable within a budget instead.
+    """
+    return solve_ilp(problem, backend=backend, fixed_links=fixed_links, max_devices=max_devices)
+
+
+def solve_max_coverage(
+    problem: PPMProblem,
+    max_devices: int,
+    backend: str = "auto",
+    fixed_links: Iterable[LinkKey] = (),
+) -> PlacementResult:
+    """Maximize the monitored volume with a limited number of devices.
+
+    This is the "best positioning of a limited number of monitoring devices"
+    variant: the coverage constraint is dropped and the objective becomes the
+    monitored volume ``sum_t v_t δ_t``.
+    """
+    if max_devices < 0:
+        raise ValueError("max_devices must be non-negative")
+    fixed = set(_normalize_links(fixed_links))
+    unknown_fixed = fixed - set(problem.candidate_links)
+    if unknown_fixed:
+        raise ValueError(f"fixed links are not candidate links: {sorted(map(str, unknown_fixed))}")
+    if max_devices < len(fixed):
+        raise ValueError(
+            f"max_devices={max_devices} is below the {len(fixed)} already-installed devices"
+        )
+
+    model = Model("ppm-max-coverage", sense="max")
+    links = problem.candidate_links
+    traffics = list(problem.traffic)
+    x = {}
+    for i, link in enumerate(links):
+        lb = 1.0 if link in fixed else 0.0
+        x[link] = model.add_var(f"x[{i}]", lb=lb, ub=1.0, vartype="binary")
+    delta = {t.traffic_id: model.add_var(f"delta[{j}]", lb=0.0, ub=1.0) for j, t in enumerate(traffics)}
+
+    candidate_set = set(links)
+    for traffic in traffics:
+        crossing = [l for l in traffic.links if l in candidate_set]
+        if crossing:
+            model.add_constr(
+                lin_sum(x[l] for l in crossing) >= delta[traffic.traffic_id],
+                name=f"monitor[{traffic.traffic_id}]",
+            )
+        else:
+            model.add_constr(delta[traffic.traffic_id] <= 0, name=f"monitor[{traffic.traffic_id}]")
+    model.add_constr(lin_sum(x[l] for l in links) <= max_devices, name="budget")
+    model.set_objective(lin_sum(t.volume * delta[t.traffic_id] for t in traffics))
+    solution = model.solve(backend=backend, raise_on_infeasible=True)
+
+    selected = [l for l in links if solution.value(x[l].name) > 0.5]
+    return problem.make_result(
+        selected,
+        method="ilp-max-coverage",
+        objective=solution.objective,
+        fixed_links=fixed,
+    )
+
+
+def expected_gain(
+    problem: PPMProblem,
+    existing_links: Iterable[LinkKey],
+    new_devices: int,
+    backend: str = "auto",
+) -> Dict[str, float]:
+    """Estimate the coverage gain of buying ``new_devices`` extra devices.
+
+    The paper notes the incremental formulation "can be derived into the
+    estimation of the expected gain in buying one or a set of new devices".
+    Returns a dictionary with the coverage before, after, and the gain.
+    """
+    if new_devices < 0:
+        raise ValueError("new_devices must be non-negative")
+    existing = _normalize_links(existing_links)
+    before = problem.achieved_coverage(existing)
+    result = solve_max_coverage(
+        problem,
+        max_devices=len(set(existing)) + new_devices,
+        backend=backend,
+        fixed_links=existing,
+    )
+    return {
+        "coverage_before": before,
+        "coverage_after": result.coverage,
+        "gain": result.coverage - before,
+        "devices_before": float(len(set(existing))),
+        "devices_after": float(result.num_devices),
+    }

@@ -1,0 +1,45 @@
+"""Packet-sampling substrate (Sections 5.1 and 5.2 of the paper).
+
+The placement MILPs treat the sampling ratio of a device as a single number
+``r_e``; this package models what that number means at the packet level:
+
+* :mod:`repro.sampling.flows` -- synthetic packet traces with the classical
+  mice / elephant flow-size dichotomy;
+* :mod:`repro.sampling.samplers` -- the four sampling techniques reviewed by
+  the paper (time-based, regular 1-in-N, probabilistic, probability
+  distribution-based);
+* :mod:`repro.sampling.estimation` -- inferring flow statistics from sampled
+  traces: naive inflation, SYN-based flow counting [Duffield et al. 2003] and
+  Bayesian elephant identification [Mori et al. 2004].
+"""
+
+from repro.sampling.flows import FlowTrace, Packet, SyntheticTraceConfig, generate_trace
+from repro.sampling.samplers import (
+    DistributionSampler,
+    PacketSampler,
+    ProbabilisticSampler,
+    RegularSampler,
+    TimeBasedSampler,
+)
+from repro.sampling.estimation import (
+    bayesian_elephant_probability,
+    classify_flows,
+    estimate_flow_count_from_syn,
+    estimate_total_packets,
+)
+
+__all__ = [
+    "DistributionSampler",
+    "FlowTrace",
+    "Packet",
+    "PacketSampler",
+    "ProbabilisticSampler",
+    "RegularSampler",
+    "SyntheticTraceConfig",
+    "TimeBasedSampler",
+    "bayesian_elephant_probability",
+    "classify_flows",
+    "estimate_flow_count_from_syn",
+    "estimate_total_packets",
+    "generate_trace",
+]

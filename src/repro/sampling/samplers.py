@@ -1,0 +1,168 @@
+"""The four packet-sampling techniques reviewed in Section 5.2.
+
+Following Duffield's survey cited by the paper, a monitor that cannot keep up
+with line rate can reduce the captured volume by:
+
+* **time-based sampling** -- capture whatever arrives at regular time
+  intervals (risking systematic blind spots with periodic applications);
+* **regular (deterministic 1-in-N) sampling** -- capture exactly one packet
+  every N packets;
+* **probabilistic sampling** -- capture each packet independently with
+  probability 1/N;
+* **probability distribution-based sampling** -- capture one packet every X
+  packets where X follows a given law (geometric, exponential) of mean N.
+
+All samplers consume a :class:`~repro.sampling.flows.FlowTrace` and return a
+new (sub-)trace, so estimators can be evaluated on their output.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional
+
+from repro.sampling.flows import FlowTrace, Packet
+
+
+class PacketSampler(abc.ABC):
+    """Base class of all packet samplers."""
+
+    @abc.abstractmethod
+    def sample(self, trace: FlowTrace) -> FlowTrace:
+        """Return the sampled sub-trace of ``trace``."""
+
+    @property
+    @abc.abstractmethod
+    def expected_rate(self) -> float:
+        """Expected fraction of packets captured (the ``r_e`` of the MILPs)."""
+
+    def achieved_rate(self, trace: FlowTrace) -> float:
+        """Fraction of packets actually captured on a given trace."""
+        if len(trace) == 0:
+            return 0.0
+        return len(self.sample(trace)) / len(trace)
+
+
+class RegularSampler(PacketSampler):
+    """Deterministic 1-in-N sampling.
+
+    Parameters
+    ----------
+    period:
+        The ``N`` of "one packet every N packets"; must be at least 1.
+    offset:
+        Index (modulo ``period``) of the packet captured in each period.
+    """
+
+    def __init__(self, period: int, offset: int = 0) -> None:
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self.period = period
+        self.offset = offset % period
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / self.period
+
+    def sample(self, trace: FlowTrace) -> FlowTrace:
+        return FlowTrace(
+            p for i, p in enumerate(trace) if i % self.period == self.offset
+        )
+
+
+class ProbabilisticSampler(PacketSampler):
+    """Independent per-packet sampling with probability ``1/N``."""
+
+    def __init__(self, period: float, seed: Optional[int] = None) -> None:
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        self.period = float(period)
+        self.seed = seed
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / self.period
+
+    def sample(self, trace: FlowTrace) -> FlowTrace:
+        rng = random.Random(self.seed)
+        probability = self.expected_rate
+        return FlowTrace(p for p in trace if rng.random() < probability)
+
+
+class TimeBasedSampler(PacketSampler):
+    """Capture the first packet arriving in each time slot of a fixed length.
+
+    The expected rate depends on the traffic intensity: with ``interval``
+    much larger than the mean packet inter-arrival time, roughly one packet
+    per interval is captured.
+    """
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+
+    @property
+    def expected_rate(self) -> float:
+        # The true rate is workload-dependent; report the optimistic bound of
+        # one packet per interval normalised later by achieved_rate().
+        return float("nan")
+
+    def sample(self, trace: FlowTrace) -> FlowTrace:
+        captured: List[Packet] = []
+        next_slot = None
+        for packet in trace:
+            if next_slot is None or packet.timestamp >= next_slot:
+                captured.append(packet)
+                base = packet.timestamp if next_slot is None else next_slot
+                # Advance to the first slot boundary after this packet.
+                slots = int((packet.timestamp - base) // self.interval) + 1
+                next_slot = base + slots * self.interval
+        return FlowTrace(captured)
+
+
+class DistributionSampler(PacketSampler):
+    """Capture one packet every ``X`` packets, ``X`` drawn from a distribution.
+
+    Parameters
+    ----------
+    mean_period:
+        Mean of the gap distribution (the ``N`` of the paper).
+    law:
+        ``"geometric"`` or ``"exponential"`` (rounded to the nearest packet
+        count, minimum 1).
+    """
+
+    def __init__(self, mean_period: float, law: str = "geometric", seed: Optional[int] = None) -> None:
+        if mean_period < 1:
+            raise ValueError("mean_period must be at least 1")
+        if law not in ("geometric", "exponential"):
+            raise ValueError(f"unsupported law {law!r}; use 'geometric' or 'exponential'")
+        self.mean_period = float(mean_period)
+        self.law = law
+        self.seed = seed
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / self.mean_period
+
+    def _next_gap(self, rng: random.Random) -> int:
+        if self.law == "geometric":
+            # Geometric with success probability 1/mean.
+            probability = 1.0 / self.mean_period
+            gap = 1
+            while rng.random() > probability:
+                gap += 1
+            return gap
+        return max(1, int(round(rng.expovariate(1.0 / self.mean_period))))
+
+    def sample(self, trace: FlowTrace) -> FlowTrace:
+        rng = random.Random(self.seed)
+        captured: List[Packet] = []
+        packets = list(trace)
+        index = self._next_gap(rng) - 1
+        while index < len(packets):
+            captured.append(packets[index])
+            index += self._next_gap(rng)
+        return FlowTrace(captured)

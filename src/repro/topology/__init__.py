@@ -1,0 +1,34 @@
+"""POP topology substrate.
+
+The paper's experiments run on Point-of-Presence (POP) topologies inferred by
+the Rocketfuel tool.  Since those traces are not redistributable, this
+package provides:
+
+* :mod:`repro.topology.pop` -- the POP data model: a two-level hierarchy of
+  backbone and access routers with customer and peering attachment points
+  (Figure 2 of the paper);
+* :mod:`repro.topology.generators` -- random POP generators with presets
+  matching the sizes used in the evaluation (10, 15, 29 and 80 routers);
+* :mod:`repro.topology.rocketfuel` -- a reader/writer for Rocketfuel-style
+  edge-list files so that users who do have the original maps can load them.
+"""
+
+from repro.topology.pop import NodeRole, POPTopology
+from repro.topology.generators import (
+    POPGeneratorConfig,
+    PAPER_PRESETS,
+    generate_pop,
+    paper_pop,
+)
+from repro.topology.rocketfuel import load_rocketfuel_weights, save_rocketfuel_weights
+
+__all__ = [
+    "NodeRole",
+    "PAPER_PRESETS",
+    "POPGeneratorConfig",
+    "POPTopology",
+    "generate_pop",
+    "load_rocketfuel_weights",
+    "paper_pop",
+    "save_rocketfuel_weights",
+]

@@ -1,0 +1,90 @@
+"""Reader / writer for Rocketfuel-style topology files.
+
+The paper runs its simulations on "ISP topologies that are inferred by the
+Rocketfuel tool" [Spring, Mahajan, Wetherall, SIGCOMM 2002].  The original
+traces cannot be redistributed, but their most common exchange format -- the
+"weights" edge list, one ``<node> <node> <weight>`` triple per line -- is
+trivial to parse.  This module loads such files into a
+:class:`~repro.topology.pop.POPTopology` (and writes them back), so that a
+user who has real Rocketfuel maps can run every experiment of this library on
+them instead of the synthetic POPs.
+
+Node roles are inferred heuristically: Rocketfuel names backbone routers with
+city-prefixed labels and external/customer routers with a trailing ``-ext``
+or numeric AS suffix.  Any node matching ``*ext*`` is treated as a virtual
+endpoint; nodes of degree 1 are treated as access routers; everything else is
+backbone.  The heuristic only affects which endpoints the traffic generator
+uses, not the optimization algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Tuple
+
+from repro.topology.pop import NodeRole, POPTopology
+
+
+def _infer_role(name: str, degree: int) -> NodeRole:
+    """Heuristic role inference for a Rocketfuel node label."""
+    lowered = name.lower()
+    if "ext" in lowered or lowered.startswith(("cust", "peer")):
+        return NodeRole.CUSTOMER
+    if degree <= 1:
+        return NodeRole.ACCESS
+    return NodeRole.BACKBONE
+
+
+def load_rocketfuel_weights(path: str, name: Optional[str] = None) -> POPTopology:
+    """Load a Rocketfuel "weights" file into a :class:`POPTopology`.
+
+    Each non-empty, non-comment line must contain ``node1 node2 weight``;
+    the weight is stored as the link capacity.  Lines starting with ``#`` are
+    ignored.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If a line cannot be parsed.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    edges: List[Tuple[str, str, float]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'node node [weight]', got {line!r}")
+            u, v = parts[0], parts[1]
+            weight = float(parts[2]) if len(parts) >= 3 else 1.0
+            if u == v:
+                continue  # Rocketfuel dumps occasionally contain self-loops.
+            edges.append((u, v, weight))
+
+    # First pass to compute degrees, second pass to add role-annotated nodes.
+    degree: dict = {}
+    for u, v, _ in edges:
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+
+    pop = POPTopology(name=name or os.path.basename(path))
+    for node, deg in degree.items():
+        pop.add_router(node, _infer_role(node, deg))
+    for u, v, weight in edges:
+        if not pop.graph.has_edge(u, v):
+            pop.add_link(u, v, capacity=weight)
+    return pop
+
+
+def save_rocketfuel_weights(pop: POPTopology, path: str) -> None:
+    """Write a topology back to the Rocketfuel "weights" edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# topology {pop.name}: {pop.num_routers} routers, {pop.num_links} links\n")
+        for u, v in pop.graph.edges():
+            capacity = pop.graph.edges[u, v].get("capacity", 1.0)
+            handle.write(f"{u} {v} {capacity:g}\n")

@@ -1,0 +1,28 @@
+"""Traffic substrate: demands, routing and synthetic matrix generation.
+
+A *traffic* in the paper is an aggregation of IP flows following one path
+(Section 4.1) or, in the multi-routed setting of Section 5, a set of weighted
+paths between the same ingress/egress pair.  This package provides:
+
+* :mod:`repro.traffic.demands` -- the :class:`Traffic` / :class:`TrafficMatrix`
+  data model plus link-load computations;
+* :mod:`repro.traffic.routing` -- shortest-path and ECMP multi-path routing of
+  a demand matrix over a POP (asymmetric by default, as in the paper);
+* :mod:`repro.traffic.generation` -- random non-uniform demand matrices with
+  "preferred pairs" of high traffic, following the recipe of Section 4.4.
+"""
+
+from repro.traffic.demands import Route, Traffic, TrafficMatrix
+from repro.traffic.routing import RoutingConfig, route_demands
+from repro.traffic.generation import DemandConfig, generate_demands, generate_traffic_matrix
+
+__all__ = [
+    "DemandConfig",
+    "Route",
+    "RoutingConfig",
+    "Traffic",
+    "TrafficMatrix",
+    "generate_demands",
+    "generate_traffic_matrix",
+    "route_demands",
+]

@@ -1,0 +1,139 @@
+"""Routing of a demand matrix over a POP.
+
+The paper assumes, "as in [Nguyen & Thiran]", that traffic follows shortest
+paths from the router where it enters the POP to the router where it leaves
+it, and -- contrary to [Bejerano & Rastogi] -- does *not* assume symmetric
+routing: the path from ``u`` to ``v`` may differ from the path from ``v`` to
+``u``.  Section 5 additionally considers multi-routed traffics produced by
+load balancing, i.e. several weighted shortest paths per ingress/egress pair.
+
+This module turns a demand dictionary ``(src, dst) -> volume`` into a
+:class:`~repro.traffic.demands.TrafficMatrix` under those policies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.topology.pop import POPTopology
+from repro.traffic.demands import Route, Traffic, TrafficMatrix
+
+
+@dataclass
+class RoutingConfig:
+    """Routing policy parameters.
+
+    Attributes
+    ----------
+    multipath:
+        When True, demands are split equally over all shortest paths (ECMP),
+        producing the multi-routed traffics of Section 5.  When False each
+        demand follows a single shortest path.
+    symmetric:
+        When True the path chosen for ``(u, v)`` is reused (reversed) for
+        ``(v, u)``.  The paper's simulations use asymmetric routing, the
+        default here.
+    weight:
+        Edge attribute used as the routing metric; ``None`` means hop count.
+    max_paths:
+        Upper bound on the number of ECMP paths kept per demand (ties beyond
+        this count are dropped deterministically).
+    tie_break_seed:
+        Seed for the deterministic tie-break applied when several shortest
+        paths exist and ``multipath`` is False.
+    """
+
+    multipath: bool = False
+    symmetric: bool = False
+    weight: Optional[str] = None
+    max_paths: int = 4
+    tie_break_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+
+
+def shortest_paths(
+    pop: POPTopology,
+    source: Hashable,
+    destination: Hashable,
+    weight: Optional[str] = None,
+    max_paths: int = 4,
+) -> List[List[Hashable]]:
+    """All shortest paths between two nodes, capped at ``max_paths``.
+
+    Paths are returned in a deterministic order (lexicographic on node
+    representation) so experiments are reproducible.
+    """
+    try:
+        paths = nx.all_shortest_paths(pop.graph, source, destination, weight=weight)
+        collected = sorted((list(p) for p in paths), key=lambda p: [repr(n) for n in p])
+    except nx.NetworkXNoPath:
+        return []
+    return collected[:max_paths]
+
+
+def route_demands(
+    pop: POPTopology,
+    demands: Mapping[Tuple[Hashable, Hashable], float],
+    config: Optional[RoutingConfig] = None,
+) -> TrafficMatrix:
+    """Route a demand matrix over the POP, producing a :class:`TrafficMatrix`.
+
+    Parameters
+    ----------
+    pop:
+        Topology over which to route.
+    demands:
+        Mapping ``(ingress, egress) -> volume``; zero or negative volumes are
+        skipped.
+    config:
+        Routing policy; defaults to single-path asymmetric shortest-path
+        routing as in the paper's simulations.
+
+    Raises
+    ------
+    ValueError
+        If a demand endpoint is not a node of the POP or no path exists
+        between a demand's endpoints.
+    """
+    config = config or RoutingConfig()
+    rng = random.Random(config.tie_break_seed)
+    matrix = TrafficMatrix()
+    symmetric_cache: Dict[Tuple[Hashable, Hashable], List[Hashable]] = {}
+
+    for index, ((source, destination), volume) in enumerate(demands.items()):
+        if volume <= 0:
+            continue
+        if source == destination:
+            raise ValueError(f"demand {index}: source and destination are both {source!r}")
+        for endpoint in (source, destination):
+            if endpoint not in pop.graph:
+                raise ValueError(f"demand endpoint {endpoint!r} is not a node of POP {pop.name!r}")
+
+        paths = shortest_paths(
+            pop, source, destination, weight=config.weight, max_paths=config.max_paths
+        )
+        if not paths:
+            raise ValueError(f"no path between {source!r} and {destination!r} in POP {pop.name!r}")
+
+        traffic_id = (source, destination)
+        if config.multipath and len(paths) > 1:
+            share = volume / len(paths)
+            routes = [Route(tuple(path), share) for path in paths]
+        else:
+            if config.symmetric and (destination, source) in symmetric_cache:
+                chosen = list(reversed(symmetric_cache[(destination, source)]))
+            else:
+                # Deterministic pseudo-random tie-break among equal-cost paths,
+                # mimicking the arbitrary choices of a real routing protocol.
+                chosen = paths[rng.randrange(len(paths))] if len(paths) > 1 else paths[0]
+            symmetric_cache[(source, destination)] = chosen
+            routes = [Route(tuple(chosen), volume)]
+        matrix.add(Traffic(traffic_id=traffic_id, routes=routes))
+    return matrix

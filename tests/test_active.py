@@ -1,0 +1,166 @@
+"""Tests for probe-set computation and beacon placement (Section 6)."""
+
+import pytest
+
+from repro.active import (
+    BeaconPlacementProblem,
+    Probe,
+    compute_probe_set,
+    greedy_placement,
+    ilp_placement,
+    sweep_candidate_sizes,
+    thiran_placement,
+)
+from repro.active.beacons import baseline_placement
+from repro.topology import NodeRole, POPTopology, paper_pop
+from repro.topology.pop import link_key
+
+
+@pytest.fixture(scope="module")
+def pop15():
+    return paper_pop("pop15", seed=4)
+
+
+class TestProbe:
+    def test_links_and_endpoints(self):
+        probe = Probe(source="a", target="c", path=("a", "b", "c"))
+        assert probe.links == (link_key("a", "b"), link_key("b", "c"))
+        assert probe.endpoints == ("a", "c")
+
+    def test_endpoint_order_is_canonical(self):
+        p1 = Probe(source="z", target="a", path=("z", "a"))
+        assert p1.endpoints == ("a", "z")
+
+    def test_invalid_paths_rejected(self):
+        with pytest.raises(ValueError):
+            Probe(source="a", target="b", path=("a",))
+        with pytest.raises(ValueError):
+            Probe(source="a", target="b", path=("a", "c"))
+
+
+class TestComputeProbeSet:
+    def test_probes_cover_router_links(self, pop15):
+        candidates = pop15.routers
+        probe_set = compute_probe_set(pop15, candidates)
+        wanted = set(pop15.router_links())
+        assert probe_set.covered_links | probe_set.uncoverable_links == wanted
+        # Every candidate beacon is a node of the POP, so everything on a
+        # shortest path from a router is coverable here.
+        assert not probe_set.uncoverable_links
+
+    def test_every_probe_starts_at_a_candidate(self, pop15):
+        candidates = pop15.backbone_routers
+        probe_set = compute_probe_set(pop15, candidates)
+        for probe in probe_set:
+            assert probe.source in set(candidates)
+
+    def test_probe_set_is_minimal_ish(self, pop15):
+        # The greedy cover never selects a probe covering no new link, so the
+        # probe count is at most the number of links to cover.
+        probe_set = compute_probe_set(pop15, pop15.routers)
+        assert len(probe_set) <= len(pop15.router_links())
+
+    def test_custom_links_to_cover(self, pop15):
+        links = pop15.router_links()[:5]
+        probe_set = compute_probe_set(pop15, pop15.routers, links_to_cover=links)
+        assert probe_set.covered_links <= set(links)
+
+    def test_empty_candidate_set_rejected(self, pop15):
+        with pytest.raises(ValueError):
+            compute_probe_set(pop15, [])
+
+    def test_unknown_candidate_rejected(self, pop15):
+        with pytest.raises(ValueError):
+            compute_probe_set(pop15, ["not-a-router"])
+
+    def test_probes_emittable_by(self, pop15):
+        candidates = pop15.backbone_routers
+        probe_set = compute_probe_set(pop15, candidates)
+        beacon = candidates[0]
+        for probe in probe_set.probes_emittable_by(beacon):
+            assert beacon in probe.endpoints
+
+
+class TestThiranBaseline:
+    def test_every_probe_is_assigned(self, pop15):
+        probe_set = compute_probe_set(pop15, pop15.routers)
+        beacons = thiran_placement(probe_set)
+        chosen = set(beacons)
+        for probe in probe_set:
+            assert probe.endpoints[0] in chosen or probe.endpoints[1] in chosen
+
+    def test_empty_probe_set_needs_no_beacon(self, pop15):
+        probe_set = compute_probe_set(pop15, pop15.routers, links_to_cover=[])
+        assert thiran_placement(probe_set) == []
+
+    def test_explicit_order_is_respected(self, pop15):
+        probe_set = compute_probe_set(pop15, pop15.routers)
+        order = sorted(probe_set.candidate_beacons, key=repr, reverse=True)
+        beacons = thiran_placement(probe_set, order=order)
+        chosen = set(beacons)
+        for probe in probe_set:
+            assert chosen & set(probe.endpoints)
+
+
+class TestBeaconPlacement:
+    def test_ilp_is_never_worse(self, pop15):
+        for size in (5, 10, 15):
+            candidates = pop15.routers[:size]
+            probe_set = compute_probe_set(pop15, candidates)
+            problem = BeaconPlacementProblem(probe_set)
+            ilp = ilp_placement(problem)
+            greedy = greedy_placement(problem)
+            thiran = baseline_placement(problem)
+            assert ilp.num_beacons <= greedy.num_beacons
+            assert ilp.num_beacons <= thiran.num_beacons
+            for result in (ilp, greedy, thiran):
+                assert problem.is_valid_placement(result.beacons)
+
+    def test_beacons_subset_of_candidates(self, pop15):
+        candidates = pop15.backbone_routers
+        probe_set = compute_probe_set(pop15, candidates)
+        problem = BeaconPlacementProblem(probe_set)
+        for result in (ilp_placement(problem), greedy_placement(problem)):
+            assert set(result.beacons) <= set(candidates)
+
+    def test_is_valid_placement_rejects_non_candidates(self, pop15):
+        probe_set = compute_probe_set(pop15, pop15.backbone_routers)
+        problem = BeaconPlacementProblem(probe_set)
+        assert not problem.is_valid_placement(["ar0"])
+
+    def test_single_candidate(self):
+        pop = POPTopology("line")
+        for node in ("a", "b", "c"):
+            pop.add_router(node, NodeRole.BACKBONE)
+        pop.add_link("a", "b")
+        pop.add_link("b", "c")
+        probe_set = compute_probe_set(pop, ["a"])
+        problem = BeaconPlacementProblem(probe_set)
+        assert ilp_placement(problem).beacons == ["a"]
+        assert greedy_placement(problem).beacons == ["a"]
+
+
+class TestSweep:
+    def test_sweep_shapes_and_bounds(self, pop15):
+        rows = sweep_candidate_sizes(pop15, sizes=[3, 6, 9, 15], seed=0)
+        assert [int(r["candidates"]) for r in rows] == [3, 6, 9, 15]
+        for row in rows:
+            assert row["ilp"] <= row["greedy"] + 1e-9
+            assert row["ilp"] <= row["thiran"] + 1e-9
+            assert row["ilp"] <= row["candidates"]
+
+    def test_sweep_default_sizes(self, pop15):
+        rows = sweep_candidate_sizes(pop15, seed=1)
+        assert int(rows[-1]["candidates"]) == len(pop15.routers)
+
+    def test_sweep_invalid_size_rejected(self, pop15):
+        with pytest.raises(ValueError):
+            sweep_candidate_sizes(pop15, sizes=[0], seed=0)
+        with pytest.raises(ValueError):
+            sweep_candidate_sizes(pop15, sizes=[100], seed=0)
+
+    def test_sweep_requires_routers(self):
+        pop = POPTopology("single")
+        pop.add_router("only", NodeRole.BACKBONE)
+        with pytest.raises(ValueError):
+            sweep_candidate_sizes(pop, sizes=[1], seed=0)

@@ -1,0 +1,102 @@
+"""Tests for the link-failure detection simulator (active monitoring)."""
+
+import pytest
+
+from repro.active import (
+    BeaconPlacementProblem,
+    compute_probe_set,
+    detection_coverage,
+    ilp_placement,
+    simulate_link_failure,
+)
+from repro.topology import NodeRole, POPTopology, paper_pop
+from repro.topology.pop import link_key
+
+
+@pytest.fixture(scope="module")
+def deployed_pop15():
+    """A 15-router POP with probes computed and beacons optimally placed."""
+    pop = paper_pop("pop15", seed=8)
+    probe_set = compute_probe_set(pop, pop.routers)
+    beacons = ilp_placement(BeaconPlacementProblem(probe_set)).beacons
+    return pop, probe_set, beacons
+
+
+@pytest.fixture()
+def line_pop():
+    pop = POPTopology("line")
+    for node in ("a", "b", "c", "d"):
+        pop.add_router(node, NodeRole.BACKBONE)
+    pop.add_link("a", "b")
+    pop.add_link("b", "c")
+    pop.add_link("c", "d")
+    return pop
+
+
+class TestSimulateLinkFailure:
+    def test_failure_on_probed_link_is_detected(self, line_pop):
+        probe_set = compute_probe_set(line_pop, ["a"])
+        result = simulate_link_failure(line_pop, probe_set, ["a"], ("b", "c"))
+        assert result.detected
+        assert all(link_key("b", "c") in p.links for p in result.broken_probes)
+        # The line has no alternative path, so the broken probes are disconnected.
+        assert result.disconnected_probes
+        assert link_key("b", "c") in result.suspected_links
+
+    def test_unknown_link_rejected(self, line_pop):
+        probe_set = compute_probe_set(line_pop, ["a"])
+        with pytest.raises(ValueError):
+            simulate_link_failure(line_pop, probe_set, ["a"], ("a", "zz"))
+
+    def test_failure_invisible_without_emitting_beacon(self, line_pop):
+        probe_set = compute_probe_set(line_pop, ["a"])
+        # No beacons selected at all: nothing is emitted, nothing is detected.
+        result = simulate_link_failure(line_pop, probe_set, [], ("b", "c"))
+        assert not result.detected
+        assert result.suspected_links == set()
+
+    def test_localization_excludes_links_seen_healthy(self, line_pop):
+        # Hand-built probe set: a->c stays healthy when c-d fails, so the
+        # suspect set shrinks to exactly the failed link.
+        from repro.active import Probe, ProbeSet
+
+        probe_set = ProbeSet(
+            probes=[
+                Probe(source="a", target="c", path=("a", "b", "c")),
+                Probe(source="a", target="d", path=("a", "b", "c", "d")),
+            ],
+            candidate_beacons={"a"},
+            covered_links={link_key("a", "b"), link_key("b", "c"), link_key("c", "d")},
+        )
+        result = simulate_link_failure(line_pop, probe_set, ["a"], ("c", "d"))
+        assert result.detected
+        assert result.localized_exactly
+        assert link_key("a", "b") not in result.suspected_links
+
+    def test_every_covered_link_failure_is_detected(self, deployed_pop15):
+        pop, probe_set, beacons = deployed_pop15
+        for link in sorted(probe_set.covered_links)[:10]:
+            result = simulate_link_failure(pop, probe_set, beacons, link)
+            assert result.detected, link
+            assert link in result.suspected_links
+
+
+class TestDetectionCoverage:
+    def test_full_detection_with_optimal_beacons(self, deployed_pop15):
+        pop, probe_set, beacons = deployed_pop15
+        report = detection_coverage(pop, probe_set, beacons)
+        assert report["detection_rate"] == pytest.approx(1.0)
+        assert 0.0 <= report["exact_localization_rate"] <= 1.0
+        assert report["mean_suspect_set_size"] >= 1.0
+
+    def test_no_links_means_vacuous_coverage(self, deployed_pop15):
+        pop, probe_set, beacons = deployed_pop15
+        report = detection_coverage(pop, probe_set, beacons, links=[])
+        assert report["detection_rate"] == 1.0
+        assert report["mean_suspect_set_size"] == 0.0
+
+    def test_fewer_beacons_cannot_detect_more(self, deployed_pop15):
+        pop, probe_set, beacons = deployed_pop15
+        full = detection_coverage(pop, probe_set, beacons)
+        crippled = detection_coverage(pop, probe_set, beacons[:1])
+        assert crippled["detection_rate"] <= full["detection_rate"] + 1e-9

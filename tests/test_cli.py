@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_passive_defaults(self):
+        args = build_parser().parse_args(["passive"])
+        assert args.preset == "pop10"
+        assert args.coverage == 0.95
+        assert args.seed == 0
+
+    def test_active_arguments(self):
+        args = build_parser().parse_args(["active", "--preset", "pop15", "--candidates", "8"])
+        assert args.preset == "pop15"
+        assert args.candidates == 8
+
+    def test_figures_arguments(self):
+        args = build_parser().parse_args(["figures", "--seeds", "2", "--skip-large"])
+        assert args.seeds == 2
+        assert args.skip_large
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["passive", "--preset", "pop1000"])
+
+
+class TestCommands:
+    def test_passive_command_runs(self, capsys):
+        assert main(["passive", "--preset", "pop10", "--coverage", "0.85", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy:" in out
+        assert "ilp" in out
+
+    def test_active_command_runs(self, capsys):
+        assert main(["active", "--preset", "pop15", "--candidates", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "probes" in out
+        assert "exact ILP" in out

@@ -1,0 +1,174 @@
+"""Tests for partial cover and restricted vertex cover algorithms."""
+
+import pytest
+
+from repro.covering.partial_cover import (
+    PartialCoverInstance,
+    exact_partial_cover,
+    greedy_partial_cover,
+)
+from repro.covering.vertex_cover import (
+    VertexCoverInstance,
+    exact_vertex_cover,
+    greedy_vertex_cover,
+    matching_vertex_cover,
+)
+from repro.optim.errors import InfeasibleError
+
+
+class TestPartialCoverInstance:
+    def test_required_weight(self):
+        instance = PartialCoverInstance(
+            universe={1, 2, 3, 4},
+            subsets={"a": {1, 2}, "b": {3, 4}},
+            coverage=0.5,
+        )
+        assert instance.total_weight == 4.0
+        assert instance.required_weight == pytest.approx(2.0)
+
+    def test_weighted_elements(self):
+        instance = PartialCoverInstance(
+            universe={"x", "y"},
+            subsets={"a": {"x"}, "b": {"y"}},
+            coverage=0.7,
+            element_weights={"x": 9.0, "y": 1.0},
+        )
+        assert instance.covered_weight(["a"]) == pytest.approx(9.0)
+        assert instance.is_feasible_selection(["a"])
+        assert not instance.is_feasible_selection(["b"])
+
+    def test_invalid_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            PartialCoverInstance(universe={1}, subsets={"a": {1}}, coverage=0.0)
+        with pytest.raises(ValueError):
+            PartialCoverInstance(universe={1}, subsets={"a": {1}}, coverage=1.5)
+
+    def test_missing_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PartialCoverInstance(
+                universe={1, 2},
+                subsets={"a": {1, 2}},
+                coverage=0.5,
+                element_weights={1: 1.0},
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PartialCoverInstance(
+                universe={1},
+                subsets={"a": {1}},
+                coverage=0.5,
+                element_weights={1: -1.0},
+            )
+
+
+class TestPartialCoverAlgorithms:
+    @pytest.fixture()
+    def instance(self):
+        return PartialCoverInstance(
+            universe={1, 2, 3, 4, 5, 6},
+            subsets={"a": {1, 2, 3}, "b": {4, 5}, "c": {6}, "d": {1, 4, 6}},
+            coverage=0.5,
+        )
+
+    def test_greedy_reaches_target(self, instance):
+        selection = greedy_partial_cover(instance)
+        assert instance.is_feasible_selection(selection)
+
+    def test_exact_reaches_target_and_not_worse(self, instance):
+        exact = exact_partial_cover(instance)
+        greedy = greedy_partial_cover(instance)
+        assert instance.is_feasible_selection(exact)
+        assert len(exact) <= len(greedy)
+
+    def test_full_coverage_equals_set_cover(self):
+        instance = PartialCoverInstance(
+            universe={1, 2, 3},
+            subsets={"a": {1, 2}, "b": {2, 3}, "c": {3}},
+            coverage=1.0,
+        )
+        assert len(exact_partial_cover(instance)) == 2
+
+    def test_greedy_prefers_heavy_elements(self):
+        instance = PartialCoverInstance(
+            universe={"heavy", "light1", "light2"},
+            subsets={"h": {"heavy"}, "l": {"light1", "light2"}},
+            coverage=0.6,
+            element_weights={"heavy": 10.0, "light1": 1.0, "light2": 1.0},
+        )
+        assert greedy_partial_cover(instance) == ["h"]
+
+    def test_infeasible_target_raises(self):
+        instance = PartialCoverInstance(
+            universe={1, 2, 3, 4},
+            subsets={"a": {1}},
+            coverage=0.9,
+        )
+        with pytest.raises(InfeasibleError):
+            greedy_partial_cover(instance)
+        with pytest.raises(InfeasibleError):
+            exact_partial_cover(instance)
+
+
+class TestVertexCoverInstance:
+    def test_vertices_and_usability(self):
+        instance = VertexCoverInstance(edges=[(1, 2), (2, 3)], allowed={2})
+        assert instance.vertices == {1, 2, 3}
+        assert instance.usable(2)
+        assert not instance.usable(1)
+        assert instance.is_feasible
+
+    def test_infeasible_when_no_allowed_endpoint(self):
+        instance = VertexCoverInstance(edges=[(1, 2)], allowed={3})
+        assert not instance.is_feasible
+
+    def test_is_cover(self):
+        instance = VertexCoverInstance(edges=[(1, 2), (3, 4)])
+        assert instance.is_cover([1, 3])
+        assert not instance.is_cover([1])
+
+
+class TestVertexCoverAlgorithms:
+    @pytest.fixture()
+    def star_plus_path(self):
+        # Star centred on 0 plus a path 1-2-3; optimum is {0, 2}.
+        return VertexCoverInstance(edges=[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3)])
+
+    def test_exact_optimum(self, star_plus_path):
+        cover = exact_vertex_cover(star_plus_path)
+        assert star_plus_path.is_cover(cover)
+        assert len(cover) == 2
+
+    def test_greedy_feasible_and_close(self, star_plus_path):
+        cover = greedy_vertex_cover(star_plus_path)
+        assert star_plus_path.is_cover(cover)
+        assert len(cover) <= 2 * 2
+
+    def test_matching_two_approximation(self, star_plus_path):
+        cover = matching_vertex_cover(star_plus_path)
+        assert star_plus_path.is_cover(cover)
+        assert len(cover) <= 2 * len(exact_vertex_cover(star_plus_path))
+
+    def test_matching_requires_unrestricted(self):
+        instance = VertexCoverInstance(edges=[(1, 2)], allowed={1})
+        with pytest.raises(ValueError):
+            matching_vertex_cover(instance)
+
+    def test_restricted_cover_respects_allowed_set(self):
+        instance = VertexCoverInstance(edges=[(1, 2), (2, 3), (3, 4)], allowed={2, 3})
+        for algorithm in (greedy_vertex_cover, exact_vertex_cover):
+            cover = algorithm(instance)
+            assert set(cover) <= {2, 3}
+            assert instance.is_cover(cover)
+
+    def test_infeasible_restriction_raises(self):
+        instance = VertexCoverInstance(edges=[(1, 2)], allowed={5})
+        with pytest.raises(InfeasibleError):
+            greedy_vertex_cover(instance)
+        with pytest.raises(InfeasibleError):
+            exact_vertex_cover(instance)
+
+    def test_self_loop_forces_vertex(self):
+        instance = VertexCoverInstance(edges=[(1, 1), (1, 2)])
+        cover = exact_vertex_cover(instance)
+        assert 1 in cover

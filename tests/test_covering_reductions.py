@@ -1,0 +1,104 @@
+"""Tests for the Theorem 1 reductions between Set Cover and PPM(1)."""
+
+import networkx as nx
+import pytest
+
+from repro.covering.reductions import (
+    edge_key,
+    monitoring_from_set_cover,
+    set_cover_from_monitoring,
+)
+from repro.covering.set_cover import SetCoverInstance, exact_set_cover, greedy_set_cover
+from repro.passive import PPMProblem, solve_ilp
+from repro.traffic.demands import Traffic, TrafficMatrix
+
+
+@pytest.fixture()
+def msc_instance():
+    return SetCoverInstance.from_lists(
+        {
+            "c1": ["u1", "u2"],
+            "c2": ["u2", "u3"],
+            "c3": ["u3", "u4"],
+            "c4": ["u4", "u1"],
+            "c5": ["u1", "u3"],
+        }
+    )
+
+
+class TestMonitoringFromSetCover:
+    def test_graph_structure(self, msc_instance):
+        reduction = monitoring_from_set_cover(msc_instance)
+        # One edge per subset plus two auxiliary edges per intersecting pair.
+        assert len(reduction.subset_edges) == len(msc_instance.subsets)
+        assert isinstance(reduction.graph, nx.Graph)
+        # 2 vertices per subset, as in the proof of Theorem 1.
+        assert reduction.graph.number_of_nodes() == 2 * len(msc_instance.subsets)
+
+    def test_paths_are_valid_walks(self, msc_instance):
+        reduction = monitoring_from_set_cover(msc_instance)
+        for element, path in reduction.paths.items():
+            assert len(path) >= 2
+            for u, v in zip(path[:-1], path[1:]):
+                assert reduction.graph.has_edge(u, v), (element, u, v)
+
+    def test_element_path_crosses_exactly_its_subset_edges(self, msc_instance):
+        reduction = monitoring_from_set_cover(msc_instance)
+        for element, path in reduction.paths.items():
+            crossed = {edge_key(u, v) for u, v in zip(path[:-1], path[1:])}
+            for label, items in msc_instance.subsets.items():
+                if element in items:
+                    assert reduction.subset_edges[label] in crossed
+
+    def test_optimal_monitoring_yields_optimal_cover(self, msc_instance):
+        reduction = monitoring_from_set_cover(msc_instance)
+        matrix = TrafficMatrix(
+            [
+                Traffic.single_path(element, path, 1.0)
+                for element, path in reduction.paths.items()
+            ]
+        )
+        problem = PPMProblem(matrix, coverage=1.0)
+        placement = solve_ilp(problem)
+        cover = reduction.cover_from_edges(placement.monitored_links)
+        assert msc_instance.is_cover(cover)
+        assert len(cover) == len(exact_set_cover(msc_instance))
+
+    def test_missing_element_rejected(self):
+        instance = SetCoverInstance(universe={1, 2}, subsets={"a": {1}})
+        with pytest.raises(ValueError):
+            monitoring_from_set_cover(instance)
+
+
+class TestSetCoverFromMonitoring:
+    def test_subsets_are_links(self):
+        paths = {"t1": ["a", "b", "c"], "t2": ["b", "c", "d"]}
+        instance = set_cover_from_monitoring(paths)
+        assert instance.universe == {"t1", "t2"}
+        assert instance.subsets[edge_key("b", "c")] == {"t1", "t2"}
+        assert instance.subsets[edge_key("a", "b")] == {"t1"}
+
+    def test_cover_solves_monitoring(self):
+        paths = {
+            "t1": ["a", "b", "c"],
+            "t2": ["c", "d"],
+            "t3": ["a", "e"],
+        }
+        instance = set_cover_from_monitoring(paths)
+        cover = greedy_set_cover(instance)
+        covered = set()
+        for link in cover:
+            covered |= instance.subsets[link]
+        assert covered == {"t1", "t2", "t3"}
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            set_cover_from_monitoring({"t1": ["a"]})
+
+    def test_round_trip_optimum_is_preserved(self, msc_instance):
+        """MSC -> monitoring -> MSC keeps the optimal cover size (Theorem 1)."""
+        reduction = monitoring_from_set_cover(msc_instance)
+        rebuilt = set_cover_from_monitoring(reduction.paths)
+        original_opt = len(exact_set_cover(msc_instance))
+        rebuilt_opt = len(exact_set_cover(rebuilt))
+        assert rebuilt_opt == original_opt

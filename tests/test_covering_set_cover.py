@@ -1,0 +1,158 @@
+"""Tests for Minimum Set Cover algorithms (repro.covering.set_cover)."""
+
+import math
+
+import pytest
+
+from repro.covering.set_cover import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_cover_bound,
+    greedy_set_cover,
+    lp_rounding_set_cover,
+)
+from repro.optim.errors import InfeasibleError
+
+
+@pytest.fixture()
+def simple_instance():
+    return SetCoverInstance.from_lists(
+        {
+            "a": [1, 2, 3],
+            "b": [3, 4],
+            "c": [4, 5],
+            "d": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestSetCoverInstance:
+    def test_from_lists_infers_universe(self, simple_instance):
+        assert simple_instance.universe == {1, 2, 3, 4, 5}
+        assert simple_instance.is_coverable
+
+    def test_default_unit_weights(self, simple_instance):
+        assert all(w == 1.0 for w in simple_instance.weights.values())
+        assert simple_instance.cover_cost(["a", "c"]) == 2.0
+
+    def test_is_cover(self, simple_instance):
+        assert simple_instance.is_cover(["d"])
+        assert simple_instance.is_cover(["a", "c"])
+        assert not simple_instance.is_cover(["a", "b"])
+
+    def test_stray_elements_rejected(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(universe={1, 2}, subsets={"a": {1, 2, 3}})
+
+    def test_missing_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(universe={1}, subsets={"a": {1}, "b": {1}}, weights={"a": 1.0})
+
+    def test_not_coverable(self):
+        instance = SetCoverInstance(universe={1, 2, 3}, subsets={"a": {1}})
+        assert not instance.is_coverable
+
+
+class TestGreedySetCover:
+    def test_single_dominating_set(self, simple_instance):
+        assert greedy_set_cover(simple_instance) == ["d"]
+
+    def test_result_is_a_cover(self, simple_instance):
+        assert simple_instance.is_cover(greedy_set_cover(simple_instance))
+
+    def test_uncoverable_raises(self):
+        instance = SetCoverInstance(universe={1, 2}, subsets={"a": {1}})
+        with pytest.raises(InfeasibleError):
+            greedy_set_cover(instance)
+
+    def test_weighted_greedy_prefers_cheap_ratio(self):
+        instance = SetCoverInstance(
+            universe={1, 2, 3, 4},
+            subsets={"big": {1, 2, 3, 4}, "left": {1, 2}, "right": {3, 4}},
+            weights={"big": 10.0, "left": 1.0, "right": 1.0},
+        )
+        result = greedy_set_cover(instance)
+        assert set(result) == {"left", "right"}
+
+    def test_greedy_within_theoretical_bound(self):
+        # Classical bad instance for greedy: optimum is 2, greedy can pick log n sets.
+        universe = set(range(1, 17))
+        subsets = {
+            "opt1": set(range(1, 9)),
+            "opt2": set(range(9, 17)),
+            "g8": {8, 16, 7, 15, 6, 14, 5, 13},
+            "g4": {4, 12, 3, 11},
+            "g2": {2, 10},
+            "g1": {1, 9},
+        }
+        instance = SetCoverInstance(universe=universe, subsets=subsets)
+        greedy = greedy_set_cover(instance)
+        optimum = exact_set_cover(instance)
+        assert len(optimum) == 2
+        assert len(greedy) <= math.ceil(greedy_cover_bound(len(universe)) * len(optimum))
+
+
+class TestExactSetCover:
+    def test_matches_known_optimum(self, simple_instance):
+        assert exact_set_cover(simple_instance) == ["d"]
+
+    def test_never_worse_than_greedy(self):
+        instance = SetCoverInstance.from_lists(
+            {
+                "s1": [1, 2, 3, 4],
+                "s2": [1, 5, 6],
+                "s3": [2, 5, 7],
+                "s4": [3, 6, 7],
+                "s5": [4, 8],
+                "s6": [8],
+            }
+        )
+        exact = exact_set_cover(instance)
+        greedy = greedy_set_cover(instance)
+        assert instance.is_cover(exact)
+        assert len(exact) <= len(greedy)
+
+    def test_weighted_exact(self):
+        instance = SetCoverInstance(
+            universe={1, 2},
+            subsets={"both": {1, 2}, "one": {1}, "two": {2}},
+            weights={"both": 5.0, "one": 1.0, "two": 1.0},
+        )
+        assert set(exact_set_cover(instance)) == {"one", "two"}
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance(universe={1, 2}, subsets={"a": {1}})
+        with pytest.raises(InfeasibleError):
+            exact_set_cover(instance)
+
+    def test_both_backends_agree(self, simple_instance):
+        a = exact_set_cover(simple_instance, backend="scipy")
+        b = exact_set_cover(simple_instance, backend="branch-and-bound")
+        assert len(a) == len(b)
+
+
+class TestLPRounding:
+    def test_produces_feasible_cover(self, simple_instance):
+        cover = lp_rounding_set_cover(simple_instance)
+        assert simple_instance.is_cover(cover)
+
+    def test_within_frequency_factor_of_optimum(self):
+        instance = SetCoverInstance.from_lists(
+            {"a": [1, 2], "b": [2, 3], "c": [3, 4], "d": [4, 1]}
+        )
+        cover = lp_rounding_set_cover(instance)
+        optimum = exact_set_cover(instance)
+        # Max element frequency is 2, so the rounding is a 2-approximation.
+        assert len(cover) <= 2 * len(optimum)
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance(universe={1, 2}, subsets={"a": {1}})
+        with pytest.raises(InfeasibleError):
+            lp_rounding_set_cover(instance)
+
+
+class TestGreedyBound:
+    def test_bound_monotone(self):
+        assert greedy_cover_bound(10) <= greedy_cover_bound(100)
+        assert greedy_cover_bound(0) == 1.0
+        assert greedy_cover_bound(1) == pytest.approx(1.0)

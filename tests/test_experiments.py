@@ -1,0 +1,132 @@
+"""Tests for the experiment harness and the reporting helpers.
+
+These tests run the figure runners at reduced scale (fewer seeds, smaller
+sweeps) and assert the qualitative *shapes* the paper reports rather than
+absolute values.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    active_placement_experiment,
+    dynamic_controller_experiment,
+    figure3_worked_example,
+    figure6_traffic_skew,
+    format_table,
+    passive_placement_experiment,
+    ppme_sampling_experiment,
+    rows_to_csv,
+    summarize_ratio,
+)
+
+FAST = ExperimentConfig(seeds=(0, 1))
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_rows_to_csv(self):
+        rows = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        csv = rows_to_csv(rows)
+        assert csv.splitlines() == ["x,y", "1,2", "3,4"]
+        assert rows_to_csv([]) == ""
+
+    def test_summarize_ratio(self):
+        rows = [{"g": 4.0, "i": 2.0}, {"g": 3.0, "i": 3.0}]
+        summary = summarize_ratio(rows, "g", "i")
+        assert summary["mean"] == pytest.approx(1.5)
+        assert summary["min"] == pytest.approx(1.0)
+        assert summary["max"] == pytest.approx(2.0)
+
+
+class TestWorkedExamples:
+    def test_figure3_reproduces_the_paper_exactly(self):
+        result = figure3_worked_example()
+        assert result["greedy_devices"] == 3
+        assert result["ilp_devices"] == 2
+        assert sorted(result["traffic_weights"]) == [1.0, 1.0, 2.0, 2.0]
+        assert max(result["link_loads"].values()) == 4.0
+
+    def test_figure6_traffic_is_non_uniform(self):
+        stats = figure6_traffic_skew(seed=1)
+        assert stats["max_over_mean"] > 1.3
+        assert stats["coefficient_of_variation"] > 0.2
+        assert stats["load_min"] < stats["load_max"]
+
+
+class TestPassiveFigures:
+    @pytest.fixture(scope="class")
+    def fig7_rows(self):
+        return passive_placement_experiment(
+            "pop10", coverages=(0.75, 0.9, 0.95, 1.0), config=FAST
+        )
+
+    def test_ilp_never_worse_than_greedy(self, fig7_rows):
+        for row in fig7_rows:
+            assert row["ilp_devices"] <= row["greedy_devices"] + 1e-9
+
+    def test_device_count_monotone_in_coverage(self, fig7_rows):
+        ilp_series = [row["ilp_devices"] for row in fig7_rows]
+        assert ilp_series == sorted(ilp_series)
+
+    def test_full_coverage_is_disproportionately_expensive(self, fig7_rows):
+        by_coverage = {row["coverage_percent"]: row["ilp_devices"] for row in fig7_rows}
+        jump_95_to_100 = by_coverage[100.0] - by_coverage[95.0]
+        slope_75_to_90 = (by_coverage[90.0] - by_coverage[75.0]) / 3.0
+        # The last 5% cost more devices than a typical earlier 5% step.
+        assert jump_95_to_100 >= slope_75_to_90 - 1e-9
+
+    def test_instance_sizes_match_paper_ballpark(self, fig7_rows):
+        assert 100 <= fig7_rows[0]["traffics"] <= 170
+        assert 20 <= fig7_rows[0]["links"] <= 35
+
+
+class TestActiveFigures:
+    @pytest.fixture(scope="class")
+    def fig9_rows(self):
+        return active_placement_experiment("pop15", sizes=[5, 10, 15], config=FAST)
+
+    def test_ordering_of_methods(self, fig9_rows):
+        for row in fig9_rows:
+            assert row["ilp_beacons"] <= row["greedy_beacons"] + 1e-9
+            assert row["ilp_beacons"] <= row["thiran_beacons"] + 1e-9
+
+    def test_gap_grows_with_candidates(self, fig9_rows):
+        first_gap = fig9_rows[0]["thiran_beacons"] - fig9_rows[0]["ilp_beacons"]
+        last_gap = fig9_rows[-1]["thiran_beacons"] - fig9_rows[-1]["ilp_beacons"]
+        assert last_gap >= first_gap - 1e-9
+
+    def test_beacon_count_bounded_by_candidates(self, fig9_rows):
+        for row in fig9_rows:
+            assert row["ilp_beacons"] <= row["candidates"]
+
+
+class TestSectionFiveExperiments:
+    def test_ppme_experiment_reports_costs(self):
+        report = ppme_sampling_experiment(config=ExperimentConfig(seeds=(0,)))
+        assert report["devices_mean"] > 0
+        assert report["setup_cost_mean"] >= report["devices_mean"]  # setup cost is 5 per device
+        assert report["exploitation_cost_mean"] >= 0
+
+    def test_dynamic_experiment_reports_reoptimizations(self):
+        report = dynamic_controller_experiment(
+            steps=8, config=ExperimentConfig(seeds=(0,))
+        )
+        assert report["steps"] == 8
+        assert report["reoptimizations_mean"] >= 1.0  # the initial tuning counts
+        assert 0.0 <= report["min_coverage_mean"] <= 1.0

@@ -1,0 +1,179 @@
+"""Tests for the min-cost-flow solver and the MECF reduction (Theorem 2)."""
+
+import pytest
+
+from repro.flows.mecf import (
+    MECFInstance,
+    build_auxiliary_network,
+    build_mecf_instance,
+    solve_mecf_exact,
+    solve_mecf_relaxation,
+)
+from repro.flows.min_cost_flow import FlowNetwork, successive_shortest_paths
+from repro.optim.errors import InfeasibleError
+
+
+class TestMinCostFlow:
+    def test_single_path(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", capacity=10, cost=1)
+        net.add_arc("a", "t", capacity=10, cost=2)
+        result = successive_shortest_paths(net, "s", "t", target_flow=5)
+        assert result.flow_value == pytest.approx(5)
+        assert result.cost == pytest.approx(5 * 3)
+
+    def test_prefers_cheaper_path(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", capacity=10, cost=1)
+        net.add_arc("a", "t", capacity=10, cost=1)
+        net.add_arc("s", "b", capacity=10, cost=5)
+        net.add_arc("b", "t", capacity=10, cost=5)
+        result = successive_shortest_paths(net, "s", "t", target_flow=8)
+        assert result.cost == pytest.approx(8 * 2)
+        assert ("s", "b", None) not in result.arc_flows
+
+    def test_splits_when_cheap_path_saturates(self):
+        net = FlowNetwork()
+        net.add_arc("s", "a", capacity=3, cost=1)
+        net.add_arc("a", "t", capacity=3, cost=1)
+        net.add_arc("s", "b", capacity=10, cost=5)
+        net.add_arc("b", "t", capacity=10, cost=5)
+        result = successive_shortest_paths(net, "s", "t", target_flow=5)
+        assert result.flow_value == pytest.approx(5)
+        assert result.cost == pytest.approx(3 * 2 + 2 * 10)
+
+    def test_classical_textbook_instance(self):
+        # 4-node instance: 2 units via s-1-2-t (cost 3) and 2 via s-2-t
+        # (cost 3) is optimal, total cost 12 for 4 units.
+        net = FlowNetwork()
+        net.add_arc("s", "1", capacity=4, cost=1)
+        net.add_arc("s", "2", capacity=2, cost=2)
+        net.add_arc("1", "2", capacity=2, cost=1)
+        net.add_arc("1", "t", capacity=2, cost=3)
+        net.add_arc("2", "t", capacity=4, cost=1)
+        result = successive_shortest_paths(net, "s", "t", target_flow=4)
+        assert result.flow_value == pytest.approx(4)
+        assert result.cost == pytest.approx(12)
+
+    def test_infeasible_request_raises(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", capacity=1, cost=1)
+        with pytest.raises(InfeasibleError):
+            successive_shortest_paths(net, "s", "t", target_flow=2)
+
+    def test_allow_partial_ships_maximum(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", capacity=1, cost=1)
+        result = successive_shortest_paths(net, "s", "t", target_flow=2, allow_partial=True)
+        assert result.flow_value == pytest.approx(1)
+
+    def test_negative_cost_rejected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", capacity=1, cost=-1)
+        with pytest.raises(ValueError):
+            successive_shortest_paths(net, "s", "t", target_flow=1)
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_arc("s", "t", capacity=-1)
+
+    def test_unknown_endpoint_rejected(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", capacity=1)
+        with pytest.raises(ValueError):
+            successive_shortest_paths(net, "s", "x", target_flow=1)
+
+    def test_zero_flow_request(self):
+        net = FlowNetwork()
+        net.add_arc("s", "t", capacity=1, cost=1)
+        result = successive_shortest_paths(net, "s", "t", target_flow=0)
+        assert result.flow_value == 0
+        assert result.cost == 0
+        assert result.arc_flows == {}
+
+
+@pytest.fixture()
+def mecf_figure3():
+    """MECF encoding of the Figure 3 example (optimum: 2 monitored links)."""
+    return build_mecf_instance(
+        paths={
+            "t1": ["B", "A"],
+            "t2": ["A", "C"],
+            "t3": ["D", "B"],
+            "t4": ["C", "E"],
+        },
+        volumes={"t1": 2.0, "t2": 2.0, "t3": 1.0, "t4": 1.0},
+        coverage=1.0,
+    )
+
+
+class TestMECFInstance:
+    def test_totals_and_loads(self, mecf_figure3):
+        assert mecf_figure3.total_volume == pytest.approx(6.0)
+        assert mecf_figure3.required_volume == pytest.approx(6.0)
+        assert mecf_figure3.edge_load("A") == pytest.approx(4.0)
+        assert mecf_figure3.edge_load("B") == pytest.approx(3.0)
+
+    def test_monitored_volume(self, mecf_figure3):
+        assert mecf_figure3.monitored_volume(["A"]) == pytest.approx(4.0)
+        assert mecf_figure3.monitored_volume(["B", "C"]) == pytest.approx(6.0)
+        assert mecf_figure3.is_feasible_selection(["B", "C"])
+        assert not mecf_figure3.is_feasible_selection(["A"])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MECFInstance(traffic_edges={"t": {"e"}}, traffic_volumes={"t": 1.0}, coverage=0.0)
+        with pytest.raises(ValueError):
+            MECFInstance(traffic_edges={"t": {"e"}}, traffic_volumes={}, coverage=0.5)
+        with pytest.raises(ValueError):
+            MECFInstance(traffic_edges={"t": {"e"}}, traffic_volumes={"t": 0.0}, coverage=0.5)
+
+    def test_auxiliary_network_structure(self, mecf_figure3):
+        network = build_auxiliary_network(mecf_figure3)
+        arcs = network.arcs()
+        source_arcs = [a for a in arcs if a[0] == "S"]
+        sink_arcs = [a for a in arcs if a[1] == "T"]
+        assert len(source_arcs) == len(mecf_figure3.edges)
+        assert len(sink_arcs) == len(mecf_figure3.traffic_edges)
+        # S -> w_e arcs carry unit cost, everything else is free.
+        assert all(a[4] == 1.0 for a in source_arcs)
+        assert all(a[4] == 0.0 for a in sink_arcs)
+
+
+class TestMECFSolvers:
+    def test_exact_matches_paper_example(self, mecf_figure3):
+        result = solve_mecf_exact(mecf_figure3)
+        assert result.objective == 2
+        assert set(result.selected_edges) == {"B", "C"}
+        assert result.monitored_volume == pytest.approx(6.0)
+
+    def test_relaxation_is_the_greedy_like_heuristic(self, mecf_figure3):
+        result = solve_mecf_relaxation(mecf_figure3)
+        # The 1/load relaxation mimics the greedy: it opens the loaded link A
+        # first and therefore needs at least 3 links on this instance.
+        assert mecf_figure3.is_feasible_selection(result.selected_edges)
+        assert result.objective >= solve_mecf_exact(mecf_figure3).objective
+
+    def test_partial_coverage_needs_fewer_edges(self, mecf_figure3):
+        partial = MECFInstance(
+            traffic_edges=mecf_figure3.traffic_edges,
+            traffic_volumes=mecf_figure3.traffic_volumes,
+            coverage=0.6,
+        )
+        result = solve_mecf_exact(partial)
+        assert result.objective <= 2
+        assert partial.is_feasible_selection(result.selected_edges)
+
+    def test_flow_assignment_respects_volumes(self, mecf_figure3):
+        result = solve_mecf_exact(mecf_figure3)
+        per_traffic = {}
+        for (edge, traffic), flow in result.flow_assignment.items():
+            per_traffic[traffic] = per_traffic.get(traffic, 0.0) + flow
+        for traffic, monitored in per_traffic.items():
+            assert monitored <= mecf_figure3.traffic_volumes[traffic] + 1e-6
+
+    def test_exact_backends_agree(self, mecf_figure3):
+        a = solve_mecf_exact(mecf_figure3, backend="scipy")
+        b = solve_mecf_exact(mecf_figure3, backend="branch-and-bound")
+        assert a.objective == b.objective

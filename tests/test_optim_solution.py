@@ -1,0 +1,58 @@
+"""Tests for the Solution / SolveStatus objects and solver option plumbing."""
+
+import pytest
+
+from repro.optim import Model, Solution, SolveStatus, lin_sum
+
+
+class TestSolveStatus:
+    def test_is_optimal_flag(self):
+        assert SolveStatus.OPTIMAL.is_optimal
+        for status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED, SolveStatus.NODE_LIMIT):
+            assert not status.is_optimal
+
+
+class TestSolution:
+    def test_value_and_nonzeros(self):
+        solution = Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=3.0,
+            values={"x": 1.0, "y": 0.0, "z": 1e-12},
+        )
+        assert solution.value("x") == 1.0
+        assert solution.nonzeros() == {"x": 1.0}
+        assert solution.as_dict() == {"x": 1.0, "y": 0.0, "z": 1e-12}
+        with pytest.raises(KeyError):
+            solution.value("missing")
+
+    def test_default_fields(self):
+        solution = Solution(status=SolveStatus.INFEASIBLE)
+        assert solution.objective is None
+        assert solution.values == {}
+        assert not solution.is_optimal
+
+
+class TestSolverOptions:
+    def _placement_like_model(self) -> Model:
+        model = Model("options", sense="min")
+        xs = [model.add_var(f"x{i}", vartype="binary") for i in range(6)]
+        for i in range(5):
+            model.add_constr(xs[i] + xs[i + 1] >= 1)
+        model.set_objective(lin_sum(xs))
+        return model
+
+    def test_time_limit_option_accepted(self):
+        model = self._placement_like_model()
+        solution = model.solve(backend="scipy", time_limit=10.0)
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_mip_gap_option_accepted(self):
+        model = self._placement_like_model()
+        solution = model.solve(backend="scipy", mip_gap=0.05)
+        assert solution.objective is not None
+        assert solution.objective <= 3.0 * 1.05 + 1e-9
+
+    def test_branch_and_bound_max_nodes_option(self):
+        model = self._placement_like_model()
+        solution = model.solve(backend="branch-and-bound", max_nodes=1000)
+        assert solution.objective == pytest.approx(3.0)

@@ -1,0 +1,229 @@
+"""Tests for the simplex, branch-and-bound and scipy backends.
+
+The same set of reference problems is solved by every backend and checked
+against known optima, so the in-house solvers are validated both in absolute
+terms and against HiGHS.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optim import Model, SolveStatus, available_backends, lin_sum, solve_model
+from repro.optim.branch_and_bound import solve_milp
+from repro.optim.errors import InfeasibleError, SolverError, UnboundedError
+from repro.optim.simplex import solve_standard_form
+from repro.optim import scipy_backend
+
+LP_BACKENDS = ["simplex", "scipy"]
+MIP_BACKENDS = ["branch-and-bound", "scipy"]
+
+
+def _lp_example():
+    """max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> optimum 12 at (4, 0)."""
+    m = Model("lp", sense="max")
+    x, y = m.add_var("x"), m.add_var("y")
+    m.add_constr(x + y <= 4)
+    m.add_constr(x + 3 * y <= 6)
+    m.set_objective(3 * x + 2 * y)
+    return m
+
+
+def _mip_example():
+    """Knapsack: max value with capacity 10, optimum 15 selecting items 0, 1, 3."""
+    weights = [2, 3, 4, 5, 9]
+    values = [3, 4, 5, 8, 10]
+    m = Model("knapsack", sense="max")
+    xs = [m.add_var(f"z{i}", vartype="binary") for i in range(5)]
+    m.add_constr(lin_sum(weights[i] * xs[i] for i in range(5)) <= 10)
+    m.set_objective(lin_sum(values[i] * xs[i] for i in range(5)))
+    return m
+
+
+class TestBackendRegistry:
+    def test_scipy_available_in_test_environment(self):
+        assert scipy_backend.is_available()
+        assert "scipy" in available_backends()
+
+    def test_in_house_backends_always_listed(self):
+        backends = available_backends()
+        assert "simplex" in backends
+        assert "branch-and-bound" in backends
+
+    def test_unknown_backend_rejected(self):
+        m = _lp_example()
+        with pytest.raises(SolverError):
+            solve_model(m, backend="cplex")
+
+
+class TestLinearPrograms:
+    @pytest.mark.parametrize("backend", LP_BACKENDS)
+    def test_simple_lp_optimum(self, backend):
+        m = _lp_example()
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(12.0, abs=1e-6)
+        assert sol.value("x") == pytest.approx(4.0, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", LP_BACKENDS)
+    def test_equality_constraints(self, backend):
+        m = Model("eq", sense="min")
+        x, y = m.add_var("x"), m.add_var("y")
+        m.add_constr(x + y == 5)
+        m.add_constr(x - y == 1)
+        m.set_objective(x + 2 * y)
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol.value("x") == pytest.approx(3.0, abs=1e-6)
+        assert sol.value("y") == pytest.approx(2.0, abs=1e-6)
+
+    @pytest.mark.parametrize("backend", LP_BACKENDS)
+    def test_infeasible_lp(self, backend):
+        m = Model("inf")
+        x = m.add_var("x", ub=1.0)
+        m.add_constr(x >= 2)
+        m.set_objective(x)
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_lp_simplex(self):
+        m = Model("unb", sense="max")
+        x = m.add_var("x")
+        m.set_objective(x)
+        assert m.solve(backend="simplex").status is SolveStatus.UNBOUNDED
+
+    def test_raise_on_infeasible_flag(self):
+        m = Model("inf")
+        x = m.add_var("x", ub=1.0)
+        m.add_constr(x >= 2)
+        m.set_objective(x)
+        with pytest.raises(InfeasibleError):
+            solve_model(m, backend="simplex", raise_on_infeasible=True)
+
+    def test_raise_on_unbounded_flag(self):
+        m = Model("unb", sense="max")
+        x = m.add_var("x")
+        m.set_objective(x)
+        with pytest.raises(UnboundedError):
+            solve_model(m, backend="simplex", raise_on_infeasible=True)
+
+    def test_negative_lower_bounds(self):
+        m = Model("neg", sense="min")
+        x = m.add_var("x", lb=-5.0, ub=5.0)
+        m.set_objective(x)
+        for backend in LP_BACKENDS:
+            sol = m.solve(backend=backend)
+            assert sol.objective == pytest.approx(-5.0, abs=1e-6)
+
+    def test_free_variable_split(self):
+        m = Model("free", sense="min")
+        x = m.add_var("x", lb=-math.inf)
+        m.add_constr(x >= -3)
+        m.set_objective(x)
+        sol = m.solve(backend="simplex")
+        assert sol.objective == pytest.approx(-3.0, abs=1e-6)
+
+    def test_simplex_agrees_with_scipy_on_random_lps(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            n, mrows = 4, 3
+            A = rng.uniform(0, 2, size=(mrows, n))
+            b = rng.uniform(2, 6, size=mrows)
+            c = rng.uniform(0.1, 1.0, size=n)
+            model = Model("rand", sense="max")
+            xs = [model.add_var(f"x{i}", ub=5.0) for i in range(n)]
+            for row, rhs in zip(A, b):
+                model.add_constr(lin_sum(row[i] * xs[i] for i in range(n)) <= rhs)
+            model.set_objective(lin_sum(c[i] * xs[i] for i in range(n)))
+            ours = model.solve(backend="simplex")
+            highs = model.solve(backend="scipy")
+            assert ours.is_optimal and highs.is_optimal
+            assert ours.objective == pytest.approx(highs.objective, rel=1e-6, abs=1e-6)
+
+
+class TestMixedIntegerPrograms:
+    @pytest.mark.parametrize("backend", MIP_BACKENDS)
+    def test_knapsack_optimum(self, backend):
+        m = _mip_example()
+        sol = m.solve(backend=backend)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(15.0, abs=1e-6)
+        chosen = {name for name, value in sol.values.items() if name.startswith("z") and value > 0.5}
+        assert chosen == {"z0", "z1", "z3"}
+
+    @pytest.mark.parametrize("backend", MIP_BACKENDS)
+    def test_integer_rounding_is_exact(self, backend):
+        m = _mip_example()
+        sol = m.solve(backend=backend)
+        for name, value in sol.values.items():
+            if name.startswith("z"):
+                assert value in (0.0, 1.0)
+
+    @pytest.mark.parametrize("backend", MIP_BACKENDS)
+    def test_infeasible_mip(self, backend):
+        m = Model("inf-mip")
+        x = m.add_var("x", vartype="binary")
+        y = m.add_var("y", vartype="binary")
+        m.add_constr(x + y >= 3)
+        m.set_objective(x + y)
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_general_integer_variables(self):
+        m = Model("int", sense="max")
+        x = m.add_var("x", vartype="integer", ub=10.0)
+        m.add_constr(3 * x <= 10)
+        m.set_objective(x)
+        for backend in MIP_BACKENDS:
+            sol = m.solve(backend=backend)
+            assert sol.objective == pytest.approx(3.0, abs=1e-6)
+
+    def test_branch_and_bound_agrees_with_scipy_on_random_set_covers(self):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            n_items, n_sets = 8, 6
+            membership = rng.random((n_sets, n_items)) < 0.45
+            membership[0] = True  # guarantee feasibility
+            m = Model("cover", sense="min")
+            xs = [m.add_var(f"s{i}", vartype="binary") for i in range(n_sets)]
+            for item in range(n_items):
+                containing = [xs[i] for i in range(n_sets) if membership[i, item]]
+                m.add_constr(lin_sum(containing) >= 1)
+            m.set_objective(lin_sum(xs))
+            ours = m.solve(backend="branch-and-bound")
+            highs = m.solve(backend="scipy")
+            assert ours.objective == pytest.approx(highs.objective, abs=1e-6)
+
+    def test_node_limit_status(self):
+        m = _mip_example()
+        form = m.to_standard_form()
+        sol = solve_milp(form, max_nodes=0)
+        assert sol.status in (SolveStatus.NODE_LIMIT, SolveStatus.INFEASIBLE)
+
+    def test_auto_backend_picks_something_valid(self):
+        m = _mip_example()
+        sol = m.solve(backend="auto")
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(15.0, abs=1e-6)
+
+
+class TestStandardFormSolvers:
+    def test_simplex_on_standard_form_directly(self):
+        m = _lp_example()
+        sol = solve_standard_form(m.to_standard_form())
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(12.0, abs=1e-6)
+
+    def test_scipy_lp_and_mip_entry_points(self):
+        lp = _lp_example().to_standard_form()
+        assert scipy_backend.solve_lp(lp).objective == pytest.approx(12.0, abs=1e-6)
+        mip = _mip_example().to_standard_form()
+        assert scipy_backend.solve_mip(mip).objective == pytest.approx(15.0, abs=1e-6)
+
+    def test_unconstrained_problem(self):
+        m = Model("empty", sense="min")
+        m.add_var("x", ub=3.0)
+        m.set_objective(m.get_var("x"))
+        sol = m.solve(backend="simplex")
+        assert sol.objective == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,146 @@
+"""Tests for the Section 5.2 / conclusion extensions: coverage semantics and
+measurement campaigns (routing optimization towards installed monitors)."""
+
+import pytest
+
+from repro.passive import (
+    CoverageSemantics,
+    PPMProblem,
+    compare_semantics,
+    evaluate_coverage,
+    k_shortest_paths,
+    optimize_routing_for_monitoring,
+    solve_ilp,
+)
+from repro.passive.semantics import path_coverage
+from repro.topology import NodeRole, POPTopology, paper_pop
+from repro.topology.pop import link_key
+from repro.traffic import RoutingConfig, Traffic, TrafficMatrix, generate_demands, route_demands
+
+
+class TestPathCoverage:
+    def test_additive_caps_at_one(self):
+        assert path_coverage([0.6, 0.7], CoverageSemantics.ADDITIVE) == 1.0
+        assert path_coverage([0.2, 0.3], CoverageSemantics.ADDITIVE) == pytest.approx(0.5)
+
+    def test_independent_combination(self):
+        assert path_coverage([0.5, 0.5], CoverageSemantics.INDEPENDENT) == pytest.approx(0.75)
+
+    def test_monitor_once_takes_the_best_device(self):
+        assert path_coverage([0.2, 0.9, 0.4], CoverageSemantics.MONITOR_ONCE) == pytest.approx(0.9)
+
+    def test_empty_path_has_zero_coverage(self):
+        for semantics in CoverageSemantics:
+            assert path_coverage([], semantics) == 0.0
+
+    def test_rates_are_clamped(self):
+        assert path_coverage([1.4], CoverageSemantics.MONITOR_ONCE) == 1.0
+        assert path_coverage([-0.2], CoverageSemantics.ADDITIVE) == 0.0
+
+
+class TestEvaluateCoverage:
+    @pytest.fixture()
+    def matrix(self):
+        return TrafficMatrix(
+            [
+                Traffic.single_path("a", ["x", "y", "z"], 4.0),
+                Traffic.single_path("b", ["y", "z"], 6.0),
+            ]
+        )
+
+    def test_semantics_ordering(self, matrix):
+        rates = {link_key("x", "y"): 0.5, link_key("y", "z"): 0.5}
+        report = compare_semantics(matrix, rates)
+        assert report["additive"] >= report["independent"] >= report["monitor_once"]
+
+    def test_exact_values(self, matrix):
+        rates = {link_key("x", "y"): 0.5, link_key("y", "z"): 0.5}
+        # Traffic a crosses both devices, traffic b only the second one.
+        additive = evaluate_coverage(matrix, rates, CoverageSemantics.ADDITIVE)
+        independent = evaluate_coverage(matrix, rates, CoverageSemantics.INDEPENDENT)
+        once = evaluate_coverage(matrix, rates, CoverageSemantics.MONITOR_ONCE)
+        assert additive == pytest.approx((1.0 * 4 + 0.5 * 6) / 10)
+        assert independent == pytest.approx((0.75 * 4 + 0.5 * 6) / 10)
+        assert once == pytest.approx((0.5 * 4 + 0.5 * 6) / 10)
+
+    def test_no_devices_means_no_coverage(self, matrix):
+        assert evaluate_coverage(matrix, {}) == 0.0
+
+    def test_full_rates_on_all_links_cover_everything(self, matrix):
+        rates = {l: 1.0 for l in matrix.links}
+        for semantics in CoverageSemantics:
+            assert evaluate_coverage(matrix, rates, semantics) == pytest.approx(1.0)
+
+
+@pytest.fixture()
+def diamond_pop():
+    pop = POPTopology("diamond")
+    for node in ("a", "b", "c", "d"):
+        pop.add_router(node, NodeRole.BACKBONE)
+    pop.add_link("a", "b")
+    pop.add_link("b", "c")
+    pop.add_link("a", "d")
+    pop.add_link("d", "c")
+    return pop
+
+
+class TestKShortestPaths:
+    def test_diamond_has_two_paths(self, diamond_pop):
+        paths = k_shortest_paths(diamond_pop, "a", "c", k=3)
+        assert len(paths) == 2
+        assert all(path[0] == "a" and path[-1] == "c" for path in paths)
+
+    def test_k_validation(self, diamond_pop):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond_pop, "a", "c", k=0)
+
+
+class TestMeasurementCampaign:
+    def test_rerouting_onto_the_monitored_path(self, diamond_pop):
+        """A demand routed away from the monitor is steered back onto it."""
+        matrix = route_demands(diamond_pop, {("a", "c"): 10.0}, RoutingConfig(tie_break_seed=0))
+        original_links = matrix[("a", "c")].links
+        # Monitor the branch the demand does NOT currently use.
+        all_branches = {
+            frozenset({link_key("a", "b"), link_key("b", "c")}),
+            frozenset({link_key("a", "d"), link_key("d", "c")}),
+        }
+        unused = next(iter(all_branches - {frozenset(original_links)}))
+        monitor = sorted(unused)[0]
+        result = optimize_routing_for_monitoring(diamond_pop, matrix, [monitor])
+        assert result.baseline_coverage == pytest.approx(0.0)
+        assert result.coverage == pytest.approx(1.0)
+        assert result.gain == pytest.approx(1.0)
+
+    def test_integral_campaign_uses_single_paths(self, diamond_pop):
+        matrix = route_demands(diamond_pop, {("a", "c"): 10.0, ("c", "a"): 5.0})
+        monitor = link_key("a", "b")
+        result = optimize_routing_for_monitoring(diamond_pop, matrix, [monitor], integral=True)
+        for choices in result.path_choices.values():
+            assert len(choices) == 1
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_campaign_never_reduces_coverage(self):
+        pop = paper_pop("pop10", seed=9)
+        demands = generate_demands(pop, seed=9)
+        matrix = route_demands(pop, demands)
+        placement = solve_ilp(PPMProblem(matrix, coverage=0.8))
+        result = optimize_routing_for_monitoring(
+            pop, matrix, placement.monitored_links, k_paths=3
+        )
+        assert result.coverage >= result.baseline_coverage - 1e-9
+        assert result.total_volume == pytest.approx(matrix.total_volume)
+        # Demands and volumes are preserved by the re-routing.
+        assert set(result.traffic.traffic_ids) == set(matrix.traffic_ids)
+        for traffic in result.traffic:
+            assert traffic.volume == pytest.approx(matrix[traffic.traffic_id].volume)
+
+    def test_max_stretch_validation(self, diamond_pop):
+        matrix = route_demands(diamond_pop, {("a", "c"): 1.0})
+        with pytest.raises(ValueError):
+            optimize_routing_for_monitoring(diamond_pop, matrix, [], max_stretch=0.5)
+
+    def test_unknown_endpoint_rejected(self, diamond_pop):
+        matrix = TrafficMatrix([Traffic.single_path("ghost", ["a", "zz"], 1.0)])
+        with pytest.raises(ValueError):
+            optimize_routing_for_monitoring(diamond_pop, matrix, [])

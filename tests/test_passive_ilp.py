@@ -1,0 +1,141 @@
+"""Tests for the MIP placement formulations and their variants."""
+
+import pytest
+
+from repro.optim.errors import InfeasibleError
+from repro.passive import (
+    PPMProblem,
+    expected_gain,
+    solve_arc_path_ilp,
+    solve_budget_limited,
+    solve_greedy,
+    solve_ilp,
+    solve_incremental,
+    solve_max_coverage,
+)
+from repro.topology.pop import link_key
+
+
+class TestCompactILP:
+    def test_figure3_optimum_is_two_devices(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        result = solve_ilp(problem)
+        assert result.num_devices == 2
+        assert set(result.monitored_links) == {link_key("u1", "u3"), link_key("u2", "u4")}
+        assert result.meets_target
+
+    def test_coverage_constraint_is_respected(self, small_traffic):
+        for coverage in (0.75, 0.9, 1.0):
+            problem = PPMProblem(small_traffic, coverage=coverage)
+            result = solve_ilp(problem)
+            assert result.coverage >= coverage - 1e-9
+
+    def test_monotone_in_coverage(self, small_traffic):
+        counts = [
+            solve_ilp(PPMProblem(small_traffic, coverage=k)).num_devices
+            for k in (0.75, 0.85, 0.95, 1.0)
+        ]
+        assert counts == sorted(counts)
+
+    def test_agrees_with_arc_path_formulation(self, figure3_matrix, small_traffic):
+        for matrix, coverage in ((figure3_matrix, 1.0), (small_traffic, 0.85)):
+            problem = PPMProblem(matrix, coverage=coverage)
+            compact = solve_ilp(problem)
+            arc_path = solve_arc_path_ilp(problem)
+            assert compact.num_devices == arc_path.num_devices
+
+    def test_backends_agree(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        assert (
+            solve_ilp(problem, backend="scipy").num_devices
+            == solve_ilp(problem, backend="branch-and-bound").num_devices
+        )
+
+    def test_never_worse_than_greedy(self, small_traffic):
+        problem = PPMProblem(small_traffic, coverage=0.95)
+        assert solve_ilp(problem).num_devices <= solve_greedy(problem).num_devices
+
+
+class TestIncrementalPlacement:
+    def test_fixed_links_are_kept(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        fixed = [link_key("u1", "u2")]
+        result = solve_incremental(problem, existing_links=fixed)
+        assert link_key("u1", "u2") in result.monitored_links
+        assert result.meets_target
+        # The forced suboptimal device can only make the total larger or equal.
+        assert result.num_devices >= solve_ilp(problem).num_devices
+
+    def test_new_device_count_excludes_fixed(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        fixed = [link_key("u1", "u2")]
+        result = solve_incremental(problem, existing_links=fixed)
+        assert result.num_new_devices == result.num_devices - 1
+
+    def test_unknown_fixed_link_rejected(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        with pytest.raises(ValueError):
+            solve_ilp(problem, fixed_links=[("ghost", "link")])
+
+
+class TestBudgetVariants:
+    def test_budget_limited_respects_cap(self, small_traffic):
+        problem = PPMProblem(small_traffic, coverage=0.8)
+        unconstrained = solve_ilp(problem)
+        result = solve_budget_limited(problem, max_devices=unconstrained.num_devices)
+        assert result.num_devices <= unconstrained.num_devices
+        assert result.meets_target
+
+    def test_budget_too_small_raises(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        with pytest.raises(InfeasibleError):
+            solve_budget_limited(problem, max_devices=1)
+
+    def test_budget_below_fixed_devices_raises(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        with pytest.raises(InfeasibleError):
+            solve_ilp(problem, fixed_links=[("u1", "u2"), ("u1", "u3")], max_devices=1)
+
+    def test_max_coverage_with_budget(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        one = solve_max_coverage(problem, max_devices=1)
+        two = solve_max_coverage(problem, max_devices=2)
+        assert one.num_devices <= 1
+        assert one.coverage == pytest.approx(4 / 6)  # the load-4 link
+        assert two.coverage == pytest.approx(1.0)
+
+    def test_max_coverage_zero_budget(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        result = solve_max_coverage(problem, max_devices=0)
+        assert result.num_devices == 0
+        assert result.coverage == 0.0
+
+    def test_max_coverage_invalid_budget(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        with pytest.raises(ValueError):
+            solve_max_coverage(problem, max_devices=-1)
+        with pytest.raises(ValueError):
+            solve_max_coverage(problem, max_devices=0, fixed_links=[("u1", "u2")])
+
+
+class TestExpectedGain:
+    def test_gain_is_nonnegative_and_consistent(self, small_traffic):
+        problem = PPMProblem(small_traffic, coverage=1.0)
+        existing = problem.candidate_links[:2]
+        report = expected_gain(problem, existing, new_devices=2)
+        assert report["gain"] >= -1e-9
+        assert report["coverage_after"] == pytest.approx(
+            report["coverage_before"] + report["gain"]
+        )
+        assert report["devices_after"] <= report["devices_before"] + 2
+
+    def test_zero_new_devices_gain_is_zero(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        existing = [link_key("u1", "u2")]
+        report = expected_gain(problem, existing, new_devices=0)
+        assert report["gain"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_new_devices_rejected(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        with pytest.raises(ValueError):
+            expected_gain(problem, [], new_devices=-1)

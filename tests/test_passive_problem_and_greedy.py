@@ -1,0 +1,123 @@
+"""Tests for the PPM(k) problem object and the greedy placement."""
+
+import pytest
+
+from repro.optim.errors import InfeasibleError
+from repro.passive import PPMProblem, solve_greedy, solve_ilp
+from repro.topology.pop import link_key
+from repro.traffic.demands import Traffic, TrafficMatrix
+
+
+class TestPPMProblem:
+    def test_basic_quantities(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=0.5)
+        assert problem.total_volume == pytest.approx(6.0)
+        assert problem.required_volume == pytest.approx(3.0)
+        assert len(problem.candidate_links) == 5
+
+    def test_invalid_coverage(self, figure3_matrix):
+        with pytest.raises(ValueError):
+            PPMProblem(figure3_matrix, coverage=0.0)
+        with pytest.raises(ValueError):
+            PPMProblem(figure3_matrix, coverage=1.1)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            PPMProblem(TrafficMatrix(), coverage=1.0)
+
+    def test_candidate_link_restriction(self, figure3_matrix):
+        restricted = PPMProblem(
+            figure3_matrix,
+            coverage=1.0,
+            candidate_links=[("u1", "u2")],
+        )
+        assert restricted.candidate_links == [link_key("u1", "u2")]
+        # Only the load-4 link is available: 4/6 of the volume is reachable.
+        assert not restricted.is_feasible
+        assert restricted.achieved_coverage(restricted.candidate_links) == pytest.approx(4 / 6)
+
+    def test_achieved_coverage(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        assert problem.achieved_coverage([("u1", "u2")]) == pytest.approx(4 / 6)
+        assert problem.achieved_coverage([("u1", "u3"), ("u2", "u4")]) == pytest.approx(1.0)
+
+    def test_to_set_cover_round_trip(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        cover = problem.to_set_cover()
+        assert cover.universe == {"t1", "t2", "t3", "t4"}
+        assert cover.subsets[link_key("u1", "u2")] == {"t1", "t2"}
+
+    def test_to_partial_cover_weights(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=0.5)
+        partial = problem.to_partial_cover()
+        assert partial.element_weights["t1"] == 2.0
+        assert partial.required_weight == pytest.approx(3.0)
+
+    def test_to_mecf_instance(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=0.75)
+        mecf = problem.to_mecf_instance()
+        assert mecf.total_volume == pytest.approx(6.0)
+        assert mecf.coverage == 0.75
+
+    def test_make_result_packaging(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        result = problem.make_result([("u1", "u3"), ("u2", "u4")], method="manual")
+        assert result.num_devices == 2
+        assert result.meets_target
+        assert result.method == "manual"
+
+
+class TestGreedyPlacement:
+    def test_figure3_greedy_needs_three_devices(self, figure3_matrix):
+        problem = PPMProblem(figure3_matrix, coverage=1.0)
+        result = solve_greedy(problem)
+        assert result.num_devices == 3
+        # The greedy always opens the most loaded link first.
+        assert result.monitored_links[0] == link_key("u1", "u2")
+        assert result.meets_target
+
+    def test_greedy_is_optimal_on_star(self):
+        matrix = TrafficMatrix(
+            [
+                Traffic.single_path("a", ["hub", "x"], 1.0),
+                Traffic.single_path("b", ["hub", "y"], 1.0),
+                Traffic.single_path("c", ["z", "hub"], 1.0),
+            ]
+        )
+        result = solve_greedy(PPMProblem(matrix, coverage=1.0))
+        assert result.num_devices == 3  # disjoint links, nothing to share
+
+    def test_partial_coverage_uses_fewer_devices(self, figure3_matrix):
+        full = solve_greedy(PPMProblem(figure3_matrix, coverage=1.0))
+        partial = solve_greedy(PPMProblem(figure3_matrix, coverage=0.6))
+        assert partial.num_devices < full.num_devices
+        assert partial.coverage >= 0.6
+
+    def test_greedy_respects_candidate_restriction(self, figure3_matrix):
+        problem = PPMProblem(
+            figure3_matrix,
+            coverage=0.6,
+            candidate_links=[("u1", "u2")],
+        )
+        result = solve_greedy(problem)
+        assert result.monitored_links == [link_key("u1", "u2")]
+
+    def test_infeasible_restriction_raises(self, figure3_matrix):
+        problem = PPMProblem(
+            figure3_matrix,
+            coverage=1.0,
+            candidate_links=[("u1", "u2")],
+        )
+        with pytest.raises(InfeasibleError):
+            solve_greedy(problem)
+
+    def test_greedy_never_better_than_ilp(self, small_traffic):
+        for coverage in (0.8, 0.9, 1.0):
+            problem = PPMProblem(small_traffic, coverage=coverage)
+            assert solve_greedy(problem).num_devices >= solve_ilp(problem).num_devices
+
+    def test_greedy_deterministic(self, small_traffic):
+        problem = PPMProblem(small_traffic, coverage=0.9)
+        first = solve_greedy(problem)
+        second = solve_greedy(problem)
+        assert first.monitored_links == second.monitored_links

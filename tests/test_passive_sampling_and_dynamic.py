@@ -1,0 +1,211 @@
+"""Tests for PPME(h, k), the cost models, PPME* and the dynamic controller."""
+
+import pytest
+
+from repro.optim.errors import InfeasibleError
+from repro.passive import (
+    DynamicMonitoringController,
+    LinkCostModel,
+    SamplingProblem,
+    TrafficDriftModel,
+    capacity_scaled_costs,
+    reoptimize_sampling_rates,
+    solve_ppme,
+    uniform_costs,
+)
+from repro.topology import paper_pop
+from repro.topology.pop import link_key
+from repro.traffic import generate_traffic_matrix
+from repro.traffic.demands import Traffic, TrafficMatrix
+
+
+class TestCostModels:
+    def test_uniform_costs(self):
+        model = uniform_costs([("a", "b"), ("b", "c")], setup=3.0, exploitation=2.0)
+        assert model.setup_cost(("b", "a")) == 3.0
+        assert model.exploitation_cost(("b", "c")) == 2.0
+        assert model.total_cost([("a", "b")], {link_key("a", "b"): 0.5}) == pytest.approx(4.0)
+
+    def test_defaults_for_unknown_links(self):
+        model = LinkCostModel(default_setup=7.0, default_exploitation=0.25)
+        assert model.setup_cost(("x", "y")) == 7.0
+        assert model.exploitation_cost(("x", "y")) == 0.25
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            LinkCostModel(setup={("a", "b"): -1.0})
+        with pytest.raises(ValueError):
+            LinkCostModel(default_exploitation=-0.5)
+
+    def test_capacity_scaled_costs(self):
+        pop = paper_pop("pop10", seed=0)
+        model = capacity_scaled_costs(pop, setup_per_capacity=2.0, exploitation_per_capacity=1.0)
+        backbone_link = pop.router_links()[0]
+        capacity = pop.graph.edges[backbone_link]["capacity"]
+        assert model.setup_cost(backbone_link) == pytest.approx(2.0 * capacity)
+
+
+class TestPPME:
+    def test_figure3_full_coverage_with_sampling(self, figure3_matrix):
+        problem = SamplingProblem(traffic=figure3_matrix, coverage=1.0)
+        placement = solve_ppme(problem)
+        assert placement.coverage >= 1.0 - 1e-6
+        # Full coverage with unit rates needs exactly the set-cover optimum.
+        assert placement.num_devices == 2
+        assert all(rate <= 1.0 + 1e-9 for rate in placement.sampling_rates.values())
+
+    def test_partial_coverage_costs_less(self, figure3_matrix):
+        full = solve_ppme(SamplingProblem(traffic=figure3_matrix, coverage=1.0))
+        partial = solve_ppme(SamplingProblem(traffic=figure3_matrix, coverage=0.5))
+        assert partial.total_cost <= full.total_cost + 1e-9
+
+    def test_per_traffic_minimum_ratio(self, figure3_matrix):
+        problem = SamplingProblem(
+            traffic=figure3_matrix,
+            coverage=0.5,
+            traffic_min_ratio=0.3,
+        )
+        placement = solve_ppme(problem)
+        assert all(v >= 0.3 - 1e-6 for v in placement.traffic_coverage.values())
+
+    def test_per_traffic_ratio_mapping(self, figure3_matrix):
+        problem = SamplingProblem(
+            traffic=figure3_matrix,
+            coverage=0.5,
+            traffic_min_ratio={"t3": 1.0},
+        )
+        placement = solve_ppme(problem)
+        assert placement.traffic_coverage["t3"] >= 1.0 - 1e-6
+
+    def test_multipath_traffic_supported(self, multipath_matrix):
+        problem = SamplingProblem(traffic=multipath_matrix, coverage=0.8)
+        placement = solve_ppme(problem)
+        assert placement.coverage >= 0.8 - 1e-6
+        assert len(placement.path_fractions) == 4  # m1 has two routes
+
+    def test_expensive_setup_prefers_fewer_devices(self, figure3_matrix):
+        cheap_setup = solve_ppme(
+            SamplingProblem(
+                traffic=figure3_matrix,
+                coverage=0.9,
+                costs=uniform_costs(figure3_matrix.links, setup=0.1, exploitation=1.0),
+            )
+        )
+        pricey_setup = solve_ppme(
+            SamplingProblem(
+                traffic=figure3_matrix,
+                coverage=0.9,
+                costs=uniform_costs(figure3_matrix.links, setup=100.0, exploitation=1.0),
+            )
+        )
+        assert pricey_setup.num_devices <= cheap_setup.num_devices
+
+    def test_invalid_problem_parameters(self, figure3_matrix):
+        with pytest.raises(ValueError):
+            SamplingProblem(traffic=figure3_matrix, coverage=0.0)
+        with pytest.raises(ValueError):
+            SamplingProblem(traffic=figure3_matrix, coverage=0.5, traffic_min_ratio=1.5)
+        with pytest.raises(ValueError):
+            SamplingProblem(traffic=TrafficMatrix(), coverage=0.5)
+
+    def test_infeasible_when_traffic_unreachable(self):
+        matrix = TrafficMatrix(
+            [
+                Traffic.single_path("seen", ["a", "b"], 1.0),
+                Traffic.single_path("hidden", ["c", "d"], 1.0),
+            ]
+        )
+        problem = SamplingProblem(
+            traffic=matrix,
+            coverage=1.0,
+            candidate_links=[("a", "b")],
+        )
+        with pytest.raises(InfeasibleError):
+            solve_ppme(problem)
+
+
+class TestPPMEStar:
+    def test_rates_only_on_installed_links(self, figure3_matrix):
+        problem = SamplingProblem(traffic=figure3_matrix, coverage=0.9)
+        initial = solve_ppme(problem)
+        reopt = reoptimize_sampling_rates(problem, initial.monitored_links)
+        assert set(reopt.monitored_links) == set(initial.monitored_links)
+        assert set(reopt.sampling_rates) <= set(initial.monitored_links)
+        assert reopt.coverage >= 0.9 - 1e-6
+        assert reopt.method == "ppme*"
+
+    def test_infeasible_with_insufficient_installation(self, figure3_matrix):
+        problem = SamplingProblem(traffic=figure3_matrix, coverage=1.0)
+        with pytest.raises(InfeasibleError):
+            reoptimize_sampling_rates(problem, [link_key("u1", "u2")])
+
+    def test_installed_links_must_be_candidates(self, figure3_matrix):
+        problem = SamplingProblem(traffic=figure3_matrix, coverage=0.5)
+        with pytest.raises(ValueError):
+            reoptimize_sampling_rates(problem, [("ghost", "link")])
+
+    def test_reoptimization_tracks_traffic_change(self, figure3_matrix):
+        problem = SamplingProblem(traffic=figure3_matrix, coverage=0.9)
+        initial = solve_ppme(problem)
+        # Double the volume of traffic t4 only and re-optimize the rates.
+        shifted = TrafficMatrix(
+            [
+                figure3_matrix["t1"],
+                figure3_matrix["t2"],
+                figure3_matrix["t3"],
+                Traffic.single_path("t4", ["u2", "u4", "u6"], 4.0),
+            ]
+        )
+        new_problem = SamplingProblem(traffic=shifted, coverage=0.9)
+        reopt = reoptimize_sampling_rates(new_problem, initial.monitored_links)
+        assert reopt.coverage >= 0.9 - 1e-6
+
+
+class TestDynamicController:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DynamicMonitoringController([], coverage=0.0, tolerance=0.5)
+        with pytest.raises(ValueError):
+            DynamicMonitoringController([], coverage=0.9, tolerance=0.95)
+        with pytest.raises(ValueError):
+            TrafficDriftModel(volatility=1.5)
+        with pytest.raises(ValueError):
+            TrafficDriftModel(burst_probability=2.0)
+
+    def test_drift_model_preserves_structure(self, small_traffic):
+        import random
+
+        drift = TrafficDriftModel(volatility=0.3, burst_probability=0.1)
+        evolved = drift.evolve(small_traffic, random.Random(0))
+        assert len(evolved) == len(small_traffic)
+        assert set(evolved.traffic_ids) == set(small_traffic.traffic_ids)
+        assert all(t.volume > 0 for t in evolved)
+        assert evolved.total_volume != pytest.approx(small_traffic.total_volume)
+
+    def test_controller_keeps_coverage_above_tolerance_when_feasible(self):
+        pop = paper_pop("pop10", seed=11)
+        matrix = generate_traffic_matrix(pop, seed=11)
+        problem = SamplingProblem(traffic=matrix, coverage=0.9)
+        placement = solve_ppme(problem)
+        controller = DynamicMonitoringController(
+            placement.monitored_links, coverage=0.9, tolerance=0.8
+        )
+        report = controller.run(
+            matrix,
+            TrafficDriftModel(volatility=0.1, burst_probability=0.02),
+            steps=12,
+            seed=11,
+        )
+        assert len(report.steps) == 12
+        assert report.steps[0].reoptimized
+        # After every re-optimization coverage is restored to at least k.
+        for step in report.steps:
+            if step.reoptimized:
+                assert step.coverage >= 0.9 - 1e-6
+
+    def test_controller_requires_positive_steps(self, small_traffic):
+        controller = DynamicMonitoringController(
+            small_traffic.links, coverage=0.9, tolerance=0.8
+        )
+        with pytest.raises(ValueError):
+            controller.run(small_traffic, TrafficDriftModel(), steps=0)

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These tests generate random covering / monitoring instances and check the
+structural guarantees the paper's theory promises: feasibility of greedy
+solutions, optimality ordering between exact and heuristic solvers, the
+Theorem 1 equivalence, and conservation laws of the flow solver.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.covering.partial_cover import PartialCoverInstance, exact_partial_cover, greedy_partial_cover
+from repro.covering.set_cover import SetCoverInstance, exact_set_cover, greedy_set_cover
+from repro.covering.vertex_cover import VertexCoverInstance, exact_vertex_cover, greedy_vertex_cover
+from repro.flows.mecf import build_mecf_instance, solve_mecf_exact
+from repro.flows.min_cost_flow import FlowNetwork, successive_shortest_paths
+from repro.optim import Model, lin_sum
+from repro.passive import PPMProblem, solve_greedy, solve_ilp
+from repro.traffic.demands import Traffic, TrafficMatrix
+
+# Keep hypothesis fast and deterministic enough for CI-style runs.
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- strategies --------------------------------------------------------------
+
+@st.composite
+def set_cover_instances(draw):
+    """Random coverable set-cover instances with <= 8 elements and <= 6 sets."""
+    n_elements = draw(st.integers(min_value=1, max_value=8))
+    universe = set(range(n_elements))
+    n_sets = draw(st.integers(min_value=1, max_value=6))
+    subsets = {}
+    for label in range(n_sets):
+        members = draw(
+            st.sets(st.integers(min_value=0, max_value=n_elements - 1), max_size=n_elements)
+        )
+        subsets[f"s{label}"] = members
+    # Guarantee coverability with one catch-all subset.
+    subsets["all"] = set(universe)
+    return SetCoverInstance(universe=universe, subsets=subsets)
+
+
+@st.composite
+def traffic_matrices(draw):
+    """Random single-routed traffic matrices on a small line/star hybrid graph."""
+    n_traffics = draw(st.integers(min_value=1, max_value=8))
+    nodes = [f"n{i}" for i in range(6)]
+    traffics = []
+    for t in range(n_traffics):
+        length = draw(st.integers(min_value=2, max_value=4))
+        start = draw(st.integers(min_value=0, max_value=len(nodes) - length))
+        path = nodes[start : start + length]
+        volume = draw(st.floats(min_value=0.5, max_value=20.0, allow_nan=False))
+        traffics.append(Traffic.single_path(f"t{t}", path, volume))
+    return TrafficMatrix(traffics)
+
+
+# -- covering properties ------------------------------------------------------
+
+class TestSetCoverProperties:
+    @SETTINGS
+    @given(set_cover_instances())
+    def test_greedy_is_feasible_and_exact_not_worse(self, instance):
+        greedy = greedy_set_cover(instance)
+        exact = exact_set_cover(instance)
+        assert instance.is_cover(greedy)
+        assert instance.is_cover(exact)
+        assert len(exact) <= len(greedy)
+
+    @SETTINGS
+    @given(set_cover_instances())
+    def test_greedy_within_harmonic_bound(self, instance):
+        greedy = greedy_set_cover(instance)
+        exact = exact_set_cover(instance)
+        bound = math.log(max(2, len(instance.universe))) + 1.0
+        assert len(greedy) <= math.ceil(bound * len(exact))
+
+    @SETTINGS
+    @given(set_cover_instances(), st.floats(min_value=0.1, max_value=1.0))
+    def test_partial_cover_needs_no_more_than_full_cover(self, instance, coverage):
+        partial = PartialCoverInstance(
+            universe=instance.universe,
+            subsets=instance.subsets,
+            coverage=coverage,
+        )
+        exact_full = exact_set_cover(instance)
+        exact_part = exact_partial_cover(partial)
+        greedy_part = greedy_partial_cover(partial)
+        assert len(exact_part) <= len(exact_full)
+        assert len(exact_part) <= len(greedy_part)
+        assert partial.is_feasible_selection(greedy_part)
+
+
+class TestVertexCoverProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_exact_cover_is_minimal_and_feasible(self, raw_edges):
+        edges = [(u, v) for u, v in raw_edges]
+        instance = VertexCoverInstance(edges=edges)
+        exact = exact_vertex_cover(instance)
+        greedy = greedy_vertex_cover(instance)
+        assert instance.is_cover(exact)
+        assert instance.is_cover(greedy)
+        assert len(exact) <= len(greedy)
+
+
+# -- passive monitoring properties --------------------------------------------
+
+class TestMonitoringProperties:
+    @SETTINGS
+    @given(traffic_matrices(), st.floats(min_value=0.3, max_value=1.0))
+    def test_ilp_coverage_reached_and_not_worse_than_greedy(self, matrix, coverage):
+        problem = PPMProblem(matrix, coverage=coverage)
+        greedy = solve_greedy(problem)
+        ilp = solve_ilp(problem)
+        assert greedy.coverage >= coverage - 1e-6
+        assert ilp.coverage >= coverage - 1e-6
+        assert ilp.num_devices <= greedy.num_devices
+
+    @SETTINGS
+    @given(traffic_matrices())
+    def test_ppm1_equals_set_cover_optimum(self, matrix):
+        """Theorem 1: PPM(1) optimum == Minimum Set Cover optimum."""
+        problem = PPMProblem(matrix, coverage=1.0)
+        ilp = solve_ilp(problem)
+        cover = exact_set_cover(problem.to_set_cover())
+        assert ilp.num_devices == len(cover)
+
+    @SETTINGS
+    @given(traffic_matrices(), st.floats(min_value=0.3, max_value=1.0))
+    def test_mecf_equals_compact_ilp(self, matrix, coverage):
+        """Theorem 2: the MECF optimum solves PPM(k)."""
+        problem = PPMProblem(matrix, coverage=coverage)
+        compact = solve_ilp(problem)
+        mecf = solve_mecf_exact(problem.to_mecf_instance())
+        assert compact.num_devices == len(mecf.selected_edges)
+
+    @SETTINGS
+    @given(traffic_matrices(), st.floats(min_value=0.3, max_value=0.99))
+    def test_monotonicity_in_coverage(self, matrix, coverage):
+        lower = solve_ilp(PPMProblem(matrix, coverage=coverage))
+        full = solve_ilp(PPMProblem(matrix, coverage=1.0))
+        assert lower.num_devices <= full.num_devices
+
+
+# -- flow properties -----------------------------------------------------------
+
+class TestFlowProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=5.0), min_size=2, max_size=5),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_flow_conservation_on_parallel_paths(self, capacities, fraction):
+        """Shipping a fraction of the total capacity always succeeds and the
+        shipped amount equals the request."""
+        net = FlowNetwork()
+        for i, capacity in enumerate(capacities):
+            net.add_arc("s", f"m{i}", capacity=capacity, cost=float(i))
+            net.add_arc(f"m{i}", "t", capacity=capacity, cost=0.0)
+        request = fraction * sum(capacities)
+        result = successive_shortest_paths(net, "s", "t", target_flow=request)
+        assert result.flow_value == math.isclose(result.flow_value, request, rel_tol=1e-9) or True
+        assert abs(result.flow_value - request) <= 1e-6
+        # Cost must be the cheapest-first filling.
+        assert result.cost >= 0.0
+
+    @SETTINGS
+    @given(traffic_matrices(), st.floats(min_value=0.3, max_value=1.0))
+    def test_mecf_selection_is_feasible(self, matrix, coverage):
+        paths = {t.traffic_id: list(t.links) for t in matrix}
+        volumes = {t.traffic_id: t.volume for t in matrix}
+        instance = build_mecf_instance(paths, volumes, coverage)
+        result = solve_mecf_exact(instance)
+        assert instance.is_feasible_selection(result.selected_edges)
+
+
+# -- optimization layer properties ----------------------------------------------
+
+class TestOptimProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=2, max_size=6),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_simplex_matches_scipy_on_knapsack_relaxations(self, values, capacity):
+        model = Model("frac-knap", sense="max")
+        xs = [model.add_var(f"x{i}", ub=1.0) for i in range(len(values))]
+        model.add_constr(lin_sum(xs) <= capacity)
+        model.set_objective(lin_sum(v * x for v, x in zip(values, xs)))
+        ours = model.solve(backend="simplex")
+        highs = model.solve(backend="scipy")
+        assert ours.is_optimal and highs.is_optimal
+        assert abs(ours.objective - highs.objective) <= 1e-6 * max(1.0, abs(highs.objective))

@@ -1,0 +1,187 @@
+"""Tests for the POP model, the generators and the Rocketfuel reader."""
+
+import pytest
+
+from repro.topology import (
+    NodeRole,
+    PAPER_PRESETS,
+    POPGeneratorConfig,
+    POPTopology,
+    generate_pop,
+    load_rocketfuel_weights,
+    paper_pop,
+    save_rocketfuel_weights,
+)
+from repro.topology.pop import link_key
+
+
+class TestNodeRole:
+    def test_router_roles(self):
+        assert NodeRole.BACKBONE.is_router
+        assert NodeRole.ACCESS.is_router
+        assert not NodeRole.CUSTOMER.is_router
+        assert NodeRole.PEER.is_virtual
+
+    def test_role_from_string(self):
+        pop = POPTopology()
+        pop.add_router("r1", "backbone")
+        assert pop.role("r1") is NodeRole.BACKBONE
+
+
+class TestPOPTopology:
+    @pytest.fixture()
+    def tiny(self):
+        pop = POPTopology("tiny")
+        pop.add_router("bb0", NodeRole.BACKBONE)
+        pop.add_router("bb1", NodeRole.BACKBONE)
+        pop.add_router("ar0", NodeRole.ACCESS)
+        pop.add_router("cust0", NodeRole.CUSTOMER)
+        pop.add_link("bb0", "bb1", capacity=10)
+        pop.add_link("ar0", "bb0", capacity=2)
+        pop.add_link("cust0", "ar0", capacity=1)
+        return pop
+
+    def test_router_and_link_counts(self, tiny):
+        assert tiny.num_routers == 3
+        assert tiny.num_links == 3
+        assert set(tiny.routers) == {"bb0", "bb1", "ar0"}
+        assert tiny.virtual_nodes == ["cust0"]
+
+    def test_router_links_excludes_attachments(self, tiny):
+        router_links = tiny.router_links()
+        assert link_key("cust0", "ar0") not in router_links
+        assert link_key("bb0", "bb1") in router_links
+        assert len(router_links) == 2
+
+    def test_link_requires_known_nodes(self, tiny):
+        with pytest.raises(KeyError):
+            tiny.add_link("bb0", "ghost")
+
+    def test_self_loop_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.add_link("bb0", "bb0")
+
+    def test_connectivity_and_summary(self, tiny):
+        assert tiny.is_connected()
+        summary = tiny.summary()
+        assert summary["routers"] == 3
+        assert summary["links"] == 3
+        assert summary["virtual_endpoints"] == 1
+
+    def test_copy_is_independent(self, tiny):
+        clone = tiny.copy()
+        clone.add_router("extra", NodeRole.PEER)
+        clone.add_link("extra", "bb0")
+        assert tiny.num_links == 3
+        assert clone.num_links == 4
+
+    def test_link_key_is_order_independent(self):
+        assert link_key("b", "a") == link_key("a", "b")
+
+
+class TestGeneratorConfig:
+    def test_paper_presets_router_counts(self):
+        expected = {"pop10": 10, "pop15": 15, "pop29": 29, "pop80": 80}
+        for preset, routers in expected.items():
+            assert PAPER_PRESETS[preset].n_routers == routers
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            POPGeneratorConfig(n_backbone=0)
+        with pytest.raises(ValueError):
+            POPGeneratorConfig(backbone_extra_edge_prob=1.5)
+        with pytest.raises(ValueError):
+            POPGeneratorConfig(access_homing=0)
+        with pytest.raises(ValueError):
+            POPGeneratorConfig(n_customers=-1)
+
+
+class TestGeneratePOP:
+    @pytest.mark.parametrize("preset", sorted(PAPER_PRESETS))
+    def test_presets_match_paper_router_counts(self, preset):
+        pop = paper_pop(preset, seed=0)
+        assert pop.num_routers == PAPER_PRESETS[preset].n_routers
+        assert pop.is_connected()
+
+    def test_deterministic_for_a_seed(self):
+        a = paper_pop("pop10", seed=5)
+        b = paper_pop("pop10", seed=5)
+        assert sorted(map(repr, a.links)) == sorted(map(repr, b.links))
+
+    def test_different_seeds_differ(self):
+        a = paper_pop("pop15", seed=1)
+        b = paper_pop("pop15", seed=2)
+        assert sorted(map(repr, a.links)) != sorted(map(repr, b.links))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            paper_pop("pop1000")
+
+    def test_two_level_hierarchy(self):
+        pop = generate_pop(POPGeneratorConfig(n_backbone=3, n_access=4, n_customers=5, n_peers=2), seed=1)
+        # Customers only attach to access routers, peers only to backbone routers.
+        for cust in pop.nodes_with_role(NodeRole.CUSTOMER):
+            for neighbour in pop.neighbors(cust):
+                assert pop.role(neighbour) is NodeRole.ACCESS
+        for peer in pop.nodes_with_role(NodeRole.PEER):
+            for neighbour in pop.neighbors(peer):
+                assert pop.role(neighbour) is NodeRole.BACKBONE
+
+    def test_access_multihoming(self):
+        config = POPGeneratorConfig(n_backbone=4, n_access=5, n_customers=0, n_peers=0, access_homing=2)
+        pop = generate_pop(config, seed=3)
+        for access in pop.access_routers:
+            assert pop.degree(access) == 2
+
+    def test_single_backbone_router(self):
+        config = POPGeneratorConfig(n_backbone=1, n_access=2, n_customers=2, n_peers=1)
+        pop = generate_pop(config, seed=0)
+        assert pop.is_connected()
+        assert pop.num_routers == 3
+
+    def test_pop10_is_paper_sized(self):
+        pop = paper_pop("pop10", seed=0)
+        # The paper's 10-router POP has 27 links and 132 traffics; the random
+        # generator should stay in the same ballpark for the link count.
+        assert 20 <= pop.num_links <= 35
+
+
+class TestRocketfuel:
+    def test_round_trip(self, tmp_path):
+        pop = paper_pop("pop10", seed=2)
+        path = tmp_path / "pop10.weights"
+        save_rocketfuel_weights(pop, str(path))
+        loaded = load_rocketfuel_weights(str(path))
+        assert loaded.num_links == pop.num_links
+        assert loaded.graph.number_of_nodes() == pop.graph.number_of_nodes()
+
+    def test_parse_comments_weights_and_self_loops(self, tmp_path):
+        path = tmp_path / "map.weights"
+        path.write_text(
+            "# comment line\n"
+            "core1 core2 10\n"
+            "core2 core3 5\n"
+            "core3 core3 1\n"  # self-loop, must be skipped
+            "core1 edge-ext 1\n"
+            "\n"
+        )
+        pop = load_rocketfuel_weights(str(path))
+        assert pop.num_links == 3
+        assert pop.graph.edges["core1", "core2"]["capacity"] == 10.0
+        assert pop.role("edge-ext") is NodeRole.CUSTOMER
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_rocketfuel_weights("/nonexistent/file.weights")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.weights"
+        path.write_text("only-one-token\n")
+        with pytest.raises(ValueError):
+            load_rocketfuel_weights(str(path))
+
+    def test_default_weight_is_one(self, tmp_path):
+        path = tmp_path / "noweight.weights"
+        path.write_text("a b\n")
+        pop = load_rocketfuel_weights(str(path))
+        assert pop.graph.edges["a", "b"]["capacity"] == 1.0

@@ -1,0 +1,224 @@
+"""Tests for traffic demands, routing and generation."""
+
+import pytest
+
+from repro.topology import NodeRole, POPTopology, paper_pop
+from repro.topology.pop import link_key
+from repro.traffic import (
+    DemandConfig,
+    Route,
+    RoutingConfig,
+    Traffic,
+    TrafficMatrix,
+    generate_demands,
+    generate_traffic_matrix,
+    route_demands,
+)
+from repro.traffic.generation import eligible_endpoints
+
+
+class TestRoute:
+    def test_links_are_canonical(self):
+        route = Route(("a", "b", "c"), 2.0)
+        assert route.links == (link_key("a", "b"), link_key("b", "c"))
+        assert route.source == "a"
+        assert route.destination == "c"
+        assert route.uses_link(("b", "a"))
+
+    def test_invalid_routes_rejected(self):
+        with pytest.raises(ValueError):
+            Route(("a",), 1.0)
+        with pytest.raises(ValueError):
+            Route(("a", "b"), 0.0)
+
+
+class TestTraffic:
+    def test_single_path_constructor(self):
+        traffic = Traffic.single_path("t", ["a", "b"], 3.0)
+        assert traffic.volume == 3.0
+        assert not traffic.is_multipath
+
+    def test_multipath_volume_and_links(self):
+        traffic = Traffic(
+            traffic_id="t",
+            routes=[Route(("a", "b", "c"), 1.0), Route(("a", "d", "c"), 2.0)],
+        )
+        assert traffic.volume == 3.0
+        assert traffic.is_multipath
+        assert link_key("a", "d") in traffic.links
+
+    def test_routes_must_share_endpoints(self):
+        with pytest.raises(ValueError):
+            Traffic(traffic_id="t", routes=[Route(("a", "b"), 1.0), Route(("a", "c"), 1.0)])
+
+    def test_empty_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            Traffic(traffic_id="t", routes=[])
+
+
+class TestTrafficMatrix:
+    @pytest.fixture()
+    def matrix(self):
+        return TrafficMatrix(
+            [
+                Traffic.single_path("t1", ["a", "b", "c"], 2.0),
+                Traffic.single_path("t2", ["b", "c", "d"], 3.0),
+                Traffic.single_path("t3", ["a", "e"], 5.0),
+            ]
+        )
+
+    def test_totals(self, matrix):
+        assert matrix.total_volume == 10.0
+        assert len(matrix) == 3
+        assert "t1" in matrix
+        assert matrix["t2"].volume == 3.0
+
+    def test_link_loads(self, matrix):
+        loads = matrix.link_loads()
+        assert loads[link_key("b", "c")] == 5.0
+        assert loads[link_key("a", "e")] == 5.0
+
+    def test_traffics_on_link(self, matrix):
+        crossing = matrix.traffics_on_link(("c", "b"))
+        assert {t.traffic_id for t in crossing} == {"t1", "t2"}
+
+    def test_monitored_volume_and_coverage(self, matrix):
+        assert matrix.monitored_volume([("b", "c")]) == 5.0
+        assert matrix.coverage([("b", "c"), ("a", "e")]) == pytest.approx(1.0)
+        assert matrix.coverage([]) == 0.0
+
+    def test_duplicate_id_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.add(Traffic.single_path("t1", ["a", "b"], 1.0))
+
+    def test_scaled(self, matrix):
+        bigger = matrix.scaled(2.0)
+        assert bigger.total_volume == 20.0
+        assert matrix.total_volume == 10.0
+        with pytest.raises(ValueError):
+            matrix.scaled(0.0)
+
+
+@pytest.fixture()
+def diamond_pop():
+    """A 4-node diamond with two equal-cost paths between a and c."""
+    pop = POPTopology("diamond")
+    for node in ("a", "b", "c", "d"):
+        pop.add_router(node, NodeRole.BACKBONE)
+    pop.add_link("a", "b")
+    pop.add_link("b", "c")
+    pop.add_link("a", "d")
+    pop.add_link("d", "c")
+    return pop
+
+
+class TestRouting:
+    def test_single_path_routing(self, diamond_pop):
+        matrix = route_demands(diamond_pop, {("a", "c"): 4.0})
+        traffic = matrix[("a", "c")]
+        assert not traffic.is_multipath
+        assert traffic.volume == 4.0
+        assert len(traffic.routes[0].nodes) == 3
+
+    def test_multipath_splits_volume(self, diamond_pop):
+        matrix = route_demands(
+            diamond_pop, {("a", "c"): 4.0}, RoutingConfig(multipath=True)
+        )
+        traffic = matrix[("a", "c")]
+        assert traffic.is_multipath
+        assert len(traffic.routes) == 2
+        assert traffic.volume == pytest.approx(4.0)
+        assert all(r.volume == pytest.approx(2.0) for r in traffic.routes)
+
+    def test_symmetric_routing_reuses_reverse_path(self, diamond_pop):
+        matrix = route_demands(
+            diamond_pop,
+            {("a", "c"): 1.0, ("c", "a"): 1.0},
+            RoutingConfig(symmetric=True),
+        )
+        forward = matrix[("a", "c")].routes[0].nodes
+        backward = matrix[("c", "a")].routes[0].nodes
+        assert forward == tuple(reversed(backward))
+
+    def test_zero_volume_demands_skipped(self, diamond_pop):
+        matrix = route_demands(diamond_pop, {("a", "c"): 0.0, ("a", "b"): 1.0})
+        assert len(matrix) == 1
+
+    def test_unknown_endpoint_rejected(self, diamond_pop):
+        with pytest.raises(ValueError):
+            route_demands(diamond_pop, {("a", "zz"): 1.0})
+
+    def test_same_endpoints_rejected(self, diamond_pop):
+        with pytest.raises(ValueError):
+            route_demands(diamond_pop, {("a", "a"): 1.0})
+
+    def test_no_path_rejected(self):
+        pop = POPTopology("disconnected")
+        pop.add_router("a", NodeRole.BACKBONE)
+        pop.add_router("b", NodeRole.BACKBONE)
+        with pytest.raises(ValueError):
+            route_demands(pop, {("a", "b"): 1.0})
+
+    def test_max_paths_validation(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(max_paths=0)
+
+
+class TestDemandGeneration:
+    def test_eligible_endpoints_default_to_virtual_nodes(self):
+        pop = paper_pop("pop10", seed=0)
+        endpoints = eligible_endpoints(pop)
+        assert set(endpoints) <= set(pop.virtual_nodes)
+
+    def test_endpoints_fall_back_to_routers(self):
+        pop = POPTopology("no-virtual")
+        pop.add_router("a", NodeRole.BACKBONE)
+        pop.add_router("b", NodeRole.BACKBONE)
+        pop.add_link("a", "b")
+        endpoints = eligible_endpoints(pop)
+        assert set(endpoints) == {"a", "b"}
+
+    def test_demand_counts_and_determinism(self):
+        pop = paper_pop("pop10", seed=1)
+        d1 = generate_demands(pop, seed=1)
+        d2 = generate_demands(pop, seed=1)
+        d3 = generate_demands(pop, seed=2)
+        assert d1 == d2
+        assert d1 != d3
+        n = len(pop.virtual_nodes)
+        assert len(d1) == n * (n - 1)
+
+    def test_preferred_pairs_create_skew(self):
+        pop = paper_pop("pop10", seed=3)
+        config = DemandConfig(preferred_pairs=5, base_volume_range=(1.0, 2.0),
+                              preferred_volume_range=(100.0, 200.0))
+        demands = generate_demands(pop, config=config, seed=3)
+        volumes = sorted(demands.values(), reverse=True)
+        assert volumes[0] >= 100.0
+        assert volumes[4] >= 100.0
+        assert volumes[5] <= 2.0
+
+    def test_pair_fraction_limits_pairs(self):
+        pop = paper_pop("pop10", seed=4)
+        demands = generate_demands(pop, config=DemandConfig(pair_fraction=0.25), seed=4)
+        n = len(pop.virtual_nodes)
+        assert len(demands) == pytest.approx(0.25 * n * (n - 1), abs=1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DemandConfig(pair_fraction=0.0)
+        with pytest.raises(ValueError):
+            DemandConfig(preferred_pairs=-1)
+        with pytest.raises(ValueError):
+            DemandConfig(base_volume_range=(2.0, 1.0))
+
+    def test_generate_traffic_matrix_end_to_end(self):
+        pop = paper_pop("pop10", seed=5)
+        matrix = generate_traffic_matrix(pop, seed=5)
+        n = len(pop.virtual_nodes)
+        assert len(matrix) == n * (n - 1)
+        assert matrix.total_volume > 0
+        # All paths must start and end at virtual endpoints.
+        for traffic in matrix:
+            assert pop.role(traffic.source).is_virtual
+            assert pop.role(traffic.destination).is_virtual
