@@ -11,15 +11,27 @@ Run with::
 
 Set ``REPRO_BENCH_SEEDS`` to change the number of random seeds averaged over
 (default 3; the paper uses 20).
+
+Every benchmark run also appends its per-figure wall-times to
+``BENCH_optim.json`` at the repository root (see ``_bench_records``), so the
+performance trajectory of the optimization stack is recorded across PRs.
+Set ``REPRO_BENCH_NO_PERSIST=1`` to skip the write (e.g. exploratory runs).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ExperimentConfig
+
+#: Where the per-figure wall-time trajectory is persisted.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_optim.json"
 
 
 def _seed_count() -> int:
@@ -27,6 +39,51 @@ def _seed_count() -> int:
         return max(1, int(os.environ.get("REPRO_BENCH_SEEDS", "3")))
     except ValueError:
         return 3
+
+
+@pytest.fixture(scope="session")
+def _bench_records():
+    """Session-scoped sink for per-benchmark wall-times.
+
+    At session teardown the collected timings are appended as one run entry
+    to ``BENCH_optim.json`` so the perf trajectory accumulates across PRs.
+    """
+    records = {}
+    yield records
+    if not records or os.environ.get("REPRO_BENCH_NO_PERSIST"):
+        return
+    payload = {"runs": []}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            loaded = json.loads(BENCH_RESULTS_PATH.read_text())
+        except (OSError, ValueError):
+            loaded = None
+        # Tolerate hand-edited or foreign content: anything that is not a
+        # {"runs": [...]} document is replaced rather than crashing teardown.
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            payload = loaded
+    payload["runs"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "seeds": _seed_count(),
+            "wall_times_s": dict(sorted(records.items())),
+        }
+    )
+    try:
+        # Best-effort append; concurrent benchmark sessions may race the
+        # read-modify-write and one entry can win, but timings must never
+        # fail the pytest session.
+        BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+
+
+@pytest.fixture(autouse=True)
+def _record_wall_time(request, _bench_records):
+    """Record each benchmark's wall-time (workload + solves) by test name."""
+    start = time.perf_counter()
+    yield
+    _bench_records[request.node.name] = round(time.perf_counter() - start, 3)
 
 
 @pytest.fixture(scope="session")

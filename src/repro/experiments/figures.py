@@ -312,6 +312,11 @@ def dynamic_controller_experiment(
         matrix = generate_traffic_matrix(pop, seed=seed)
         problem = SamplingProblem(traffic=matrix, coverage=coverage)
         placement = solve_ppme(problem, backend=config.backend)
+        # config.solver_options() is deliberately NOT forwarded here: the
+        # controller's PPME* re-solves are LPs, and MIP options such as
+        # time_limit/mip_gap would be rejected by the in-house simplex
+        # backend.  Callers who need LP-solve options can pass
+        # solver_options= to the controller for their chosen backend.
         controller = DynamicMonitoringController(
             placement.monitored_links,
             coverage=coverage,

@@ -7,12 +7,25 @@ CPLEX plays in the original article:
 * :mod:`repro.optim.model` -- a declarative modelling API (variables, linear
   expressions, constraints, objective) similar in spirit to PuLP.
 * :mod:`repro.optim.simplex` -- a dense two-phase primal simplex solver for
-  linear programs, written from scratch on top of numpy.
-* :mod:`repro.optim.branch_and_bound` -- a branch-and-bound driver turning any
-  LP solver into an exact mixed-integer solver.
+  linear programs with fully vectorized numpy kernels, plus a dual-simplex
+  warm-start path (:class:`~repro.optim.simplex.SimplexSolver`) for repeated
+  solves over a shared constraint matrix.
+* :mod:`repro.optim.branch_and_bound` -- an incremental branch-and-bound
+  driver: the matrices are lowered once, nodes carry only their bound
+  arrays, and each child warm-starts from its parent's optimal basis.
 * :mod:`repro.optim.scipy_backend` -- an optional backend delegating to
   SciPy's HiGHS interface (``scipy.optimize.linprog`` / ``milp``), which is
   much faster on the larger experiment instances.
+
+Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
+``gap_tol``) use one unified vocabulary; the matrix of which backend honors
+which option lives in :data:`repro.optim.backend.BACKEND_OPTIONS`, and
+unknown option names raise :class:`~repro.optim.errors.SolverError`.  For
+parameterized experiments that re-solve one model under drifting data, lower
+it once with :class:`~repro.optim.backend.SolverSession` (or
+:meth:`Model.session <repro.optim.model.Model.session>`) and patch
+coefficients / right-hand sides / bounds in place between warm-started
+re-solves.
 
 The public entry point is :class:`repro.optim.model.Model`:
 
@@ -35,7 +48,7 @@ from repro.optim.errors import (
 )
 from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
 from repro.optim.solution import Solution, SolveStatus
-from repro.optim.backend import available_backends, solve_model
+from repro.optim.backend import SolverSession, available_backends, solve_model
 
 __all__ = [
     "Constraint",
@@ -44,6 +57,7 @@ __all__ = [
     "Model",
     "OptimError",
     "Solution",
+    "SolverSession",
     "SolveStatus",
     "SolverError",
     "UnboundedError",

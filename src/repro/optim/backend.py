@@ -1,4 +1,4 @@
-"""Backend selection and dispatch for solving models.
+"""Backend selection, option plumbing and incremental re-solve sessions.
 
 The rest of the library never imports a solver directly; it calls
 :func:`solve_model` (usually through :meth:`repro.optim.Model.solve`) and the
@@ -9,18 +9,61 @@ dispatcher picks an appropriate backend:
   wrapped by branch and bound.
 * ``"branch-and-bound"`` -- the in-house MILP solver (simplex at each node).
 * ``"auto"`` -- ``scipy`` when importable, otherwise the in-house solvers.
+
+Backend / option matrix
+-----------------------
+
+Option names are unified across backends; passing an option a backend does
+not recognize raises :class:`~repro.optim.errors.SolverError` instead of
+being silently dropped:
+
+==================  ========  =========  ==================
+Option              scipy     simplex    branch-and-bound
+==================  ========  =========  ==================
+``time_limit``      yes       --         yes
+``mip_gap``         yes(MIP)  --         yes
+``max_iter``        yes(LP)   yes        yes (node LPs)
+``max_nodes``       --        --         yes
+``gap_tol``         --        --         yes
+==================  ========  =========  ==================
+
+``mip_gap`` is a *relative* optimality gap everywhere (HiGHS
+``mip_rel_gap`` semantics); ``gap_tol`` is the in-house branch-and-bound's
+absolute fathoming tolerance.  ``max_iter`` bounds simplex iterations, and on
+the branch-and-bound backend it is forwarded to every node LP solve.
+
+Warm starts and re-solves
+-------------------------
+
+:class:`SolverSession` lowers a model to its :class:`StandardForm` once and
+then supports in-place parameter updates (constraint coefficients,
+right-hand sides, objective coefficients, variable bounds) followed by
+re-solves.  On the in-house backends the session also threads the previous
+optimal basis into the next solve (see
+:class:`repro.optim.simplex.SimplexSolver`), so a re-solve after a small
+data change typically skips simplex phase 1.  The SciPy backend has no warm
+start; sessions still avoid the model re-lowering cost there.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.optim.errors import InfeasibleError, SolverError, UnboundedError
-from repro.optim.model import Model
+import numpy as np
+
+from repro.optim.errors import InfeasibleError, ModelError, SolverError, UnboundedError
+from repro.optim.model import Model, StandardForm, Variable
 from repro.optim.solution import Solution, SolveStatus
 
 #: Canonical backend names accepted by :func:`solve_model`.
 BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
+
+#: Options each concrete backend honors; anything else raises SolverError.
+BACKEND_OPTIONS: Dict[str, frozenset] = {
+    "scipy": frozenset({"time_limit", "mip_gap", "max_iter"}),
+    "simplex": frozenset({"max_iter"}),
+    "branch-and-bound": frozenset({"max_nodes", "gap_tol", "mip_gap", "max_iter", "time_limit"}),
+}
 
 
 def available_backends() -> List[str]:
@@ -31,6 +74,76 @@ def available_backends() -> List[str]:
     if scipy_backend.is_available():
         backends.insert(0, "scipy")
     return backends
+
+
+def _resolve_backend(backend: str, is_mip: bool) -> str:
+    """Map ``"auto"`` to a concrete backend for this problem class."""
+    if backend not in BACKENDS:
+        raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend != "auto":
+        return backend
+    from repro.optim import scipy_backend
+
+    if scipy_backend.is_available():
+        return "scipy"
+    return "branch-and-bound" if is_mip else "simplex"
+
+
+def _check_options(backend: str, options: Dict[str, object]) -> None:
+    """Reject option names the resolved backend does not honor."""
+    unknown = set(options) - BACKEND_OPTIONS[backend]
+    if unknown:
+        raise SolverError(
+            f"backend {backend!r} does not recognize option(s) {sorted(unknown)}; "
+            f"it honors {sorted(BACKEND_OPTIONS[backend])}"
+        )
+
+
+def _solve_form(
+    form: StandardForm,
+    is_mip: bool,
+    backend: str,
+    options: Dict[str, object],
+) -> Solution:
+    """Dispatch an already-lowered ``StandardForm`` to a concrete backend."""
+    if backend == "scipy":
+        from repro.optim import scipy_backend
+
+        if not scipy_backend.is_available():
+            raise SolverError("scipy backend requested but scipy is not importable")
+        if is_mip:
+            return scipy_backend.solve_mip(
+                form,
+                time_limit=options.get("time_limit"),
+                mip_gap=options.get("mip_gap"),
+            )
+        return scipy_backend.solve_lp(
+            form,
+            max_iter=options.get("max_iter"),
+            time_limit=options.get("time_limit"),
+        )
+    if backend == "simplex":
+        from repro.optim.simplex import solve_standard_form
+
+        return solve_standard_form(form, max_iter=options.get("max_iter", 100_000))
+    # branch-and-bound
+    from repro.optim.branch_and_bound import solve_milp
+
+    return solve_milp(
+        form,
+        max_nodes=options.get("max_nodes", 100_000),
+        gap_tol=options.get("gap_tol", 1e-9),
+        mip_gap=options.get("mip_gap"),
+        max_iter=options.get("max_iter"),
+        time_limit=options.get("time_limit"),
+    )
+
+
+def _raise_for_status(solution: Solution, label: str) -> None:
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise InfeasibleError(f"model {label!r} is infeasible")
+    if solution.status is SolveStatus.UNBOUNDED:
+        raise UnboundedError(f"model {label!r} is unbounded")
 
 
 def solve_model(
@@ -52,48 +165,125 @@ def solve_model(
         :class:`~repro.optim.errors.InfeasibleError` /
         :class:`~repro.optim.errors.UnboundedError` instead of being returned.
     options:
-        Backend-specific options (``max_nodes``, ``time_limit``, ``mip_gap``,
-        ``max_iter``).
+        Backend-specific options; see :data:`BACKEND_OPTIONS` for the matrix.
+        Unrecognized option names raise :class:`SolverError`.
     """
-    if backend not in BACKENDS:
-        raise SolverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-
-    from repro.optim import scipy_backend
-
+    resolved = _resolve_backend(backend, model.is_mip)
+    _check_options(resolved, options)
     form = model.to_standard_form()
+    solution = _solve_form(form, model.is_mip, resolved, options)
+    if raise_on_infeasible:
+        _raise_for_status(solution, model.name)
+    return solution
 
-    if backend == "auto":
-        backend = "scipy" if scipy_backend.is_available() else (
-            "branch-and-bound" if model.is_mip else "simplex"
-        )
 
-    if backend == "scipy":
-        if not scipy_backend.is_available():
-            raise SolverError("scipy backend requested but scipy is not importable")
-        if model.is_mip:
-            solution = scipy_backend.solve_mip(
-                form,
-                time_limit=options.get("time_limit"),
-                mip_gap=options.get("mip_gap"),
+class SolverSession:
+    """Incremental re-solve session over a model lowered exactly once.
+
+    The session snapshots the model's :class:`StandardForm` at construction
+    and exposes O(1) in-place mutators for the data that parameterized
+    experiments change between solves -- constraint coefficients and
+    right-hand sides (``PPME*(x, h, k)``'s drifting traffic volumes),
+    objective coefficients and variable bounds.  Calling :meth:`solve` then
+    re-solves against the patched matrices, warm-starting from the previous
+    optimal basis on the in-house simplex backend.
+
+    Notes
+    -----
+    * Structural edits (new variables or constraints) are not supported;
+      rebuild the session (the model is only read at construction).
+    * Updates are expressed in the *model's* orientation: for a ``>=``
+      constraint lowered into negated ``<=`` form, the session applies the
+      sign flip internally via :attr:`StandardForm.row_map`.
+    * Each successful solve is attached back to the model, so
+      :meth:`Model.value` keeps working after session re-solves.
+    """
+
+    def __init__(self, model: Model, backend: str = "auto", **options) -> None:
+        self.model = model
+        self._is_mip = model.is_mip
+        self.backend = _resolve_backend(backend, self._is_mip)
+        _check_options(self.backend, options)
+        self.options: Dict[str, object] = dict(options)
+        self.form = model.to_standard_form()
+        self._sign = -1.0 if self.form.maximize else 1.0
+        self._simplex = None  # lazily-built SimplexSolver for warm starts
+        self._basis = None
+        self.solves = 0
+
+    # -- update surface ----------------------------------------------------
+    def _row(self, name: str) -> Tuple[np.ndarray, np.ndarray, int, float]:
+        try:
+            kind, row, sign = self.form.row_map[name]
+        except KeyError:
+            raise ModelError(
+                f"no constraint named {name!r} in session over model {self.model.name!r}"
+            ) from None
+        if kind == "dup":
+            raise ModelError(
+                f"constraint name {name!r} is shared by several constraints in model "
+                f"{self.model.name!r}; rename them to address one for updates"
+            )
+        if kind == "ub":
+            return self.form.A_ub, self.form.b_ub, row, sign
+        return self.form.A_eq, self.form.b_eq, row, sign
+
+    def _var_index(self, var: Union[Variable, str]) -> int:
+        if isinstance(var, Variable):
+            return var.index
+        return self.model.get_var(var).index
+
+    def update_constraint_rhs(self, name: str, rhs: float) -> None:
+        """Set the right-hand side of constraint ``name`` (model orientation)."""
+        _, b, row, sign = self._row(name)
+        b[row] = sign * float(rhs)
+
+    def update_constraint_coeff(self, name: str, var: Union[Variable, str], coeff: float) -> None:
+        """Set one coefficient of constraint ``name`` (model orientation)."""
+        A, _, row, sign = self._row(name)
+        A[row, self._var_index(var)] = sign * float(coeff)
+
+    def update_objective_coeff(self, var: Union[Variable, str], coeff: float) -> None:
+        """Set the objective coefficient of ``var`` (model sense)."""
+        self.form.c[self._var_index(var)] = self._sign * float(coeff)
+
+    def update_var_bounds(
+        self,
+        var: Union[Variable, str],
+        lb: Optional[float] = None,
+        ub: Optional[float] = None,
+    ) -> None:
+        """Tighten or relax the bounds of ``var`` for subsequent solves."""
+        index = self._var_index(var)
+        if lb is not None:
+            self.form.lb[index] = float(lb)
+        if ub is not None:
+            self.form.ub[index] = float(ub)
+
+    # -- solving -----------------------------------------------------------
+    def solve(self, raise_on_infeasible: bool = False, **options) -> Solution:
+        """Re-solve against the current (patched) matrices.
+
+        ``options`` override the session-level defaults for this call only.
+        """
+        merged = dict(self.options)
+        merged.update(options)
+        _check_options(self.backend, merged)
+
+        if self.backend == "simplex" and not self._is_mip:
+            from repro.optim.simplex import SimplexSolver
+
+            if self._simplex is None:
+                self._simplex = SimplexSolver(self.form)
+            solution, self._basis = self._simplex.solve(
+                warm_basis=self._basis,
+                max_iter=merged.get("max_iter"),
             )
         else:
-            solution = scipy_backend.solve_lp(form)
-    elif backend == "simplex":
-        from repro.optim.simplex import solve_standard_form
+            solution = _solve_form(self.form, self._is_mip, self.backend, merged)
 
-        solution = solve_standard_form(form, max_iter=options.get("max_iter", 100_000))
-    else:  # branch-and-bound
-        from repro.optim.branch_and_bound import solve_milp
-
-        solution = solve_milp(
-            form,
-            max_nodes=options.get("max_nodes", 100_000),
-            gap_tol=options.get("gap_tol", 1e-9),
-        )
-
-    if raise_on_infeasible:
-        if solution.status is SolveStatus.INFEASIBLE:
-            raise InfeasibleError(f"model {model.name!r} is infeasible")
-        if solution.status is SolveStatus.UNBOUNDED:
-            raise UnboundedError(f"model {model.name!r} is unbounded")
-    return solution
+        self.solves += 1
+        self.model.attach_solution(solution)
+        if raise_on_infeasible:
+            _raise_for_status(solution, self.model.name)
+        return solution

@@ -5,6 +5,35 @@ deliberately simple -- best-bound node selection, most-fractional branching,
 and rounding-based incumbent detection -- because the 0-1 programs appearing
 in the paper (device placement and beacon placement) are small and extremely
 well behaved.
+
+The search is *incremental*: the :class:`~repro.optim.model.StandardForm` is
+lowered once, every node only carries its own ``lb``/``ub`` arrays, and the
+node LP solver receives those bounds directly (no per-node matrix rebuild).
+When the in-house simplex is the node solver, each child node additionally
+warm-starts from its parent's optimal basis, skipping phase 1 whenever that
+basis is still primal feasible after the branching bound change.
+
+Options honored by this backend (see :func:`repro.optim.backend.solve_model`):
+
+=============  ===========================================================
+``max_nodes``  Limit on explored nodes; exceeding it returns the best
+               incumbent with status ``NODE_LIMIT`` (open nodes are never
+               silently discarded, so the reported bound/gap is correct).
+``gap_tol``    Absolute incumbent gap below which a node is fathomed.
+``mip_gap``    Relative optimality gap; a node within ``mip_gap *
+               |incumbent|`` of the incumbent is fathomed, mirroring the
+               HiGHS ``mip_rel_gap`` option.
+``max_iter``   Simplex iteration limit forwarded to every node LP solve.
+``time_limit`` Wall-clock limit in seconds; on expiry the best incumbent is
+               returned with status ``NODE_LIMIT``.
+=============  ===========================================================
+
+Status contract for degenerate roots: when the root relaxation is unbounded
+the MILP may be either unbounded or infeasible.  The driver probes with a
+zero-objective (bounded) feasibility MILP over the same node: a feasible
+probe proves ``UNBOUNDED``, an infeasible probe prunes the node (yielding
+``INFEASIBLE`` at the root).  Only if the probe itself hits the node budget
+does the driver fall back to reporting ``UNBOUNDED``.
 """
 
 from __future__ import annotations
@@ -12,11 +41,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.optim.errors import SolverError
 from repro.optim.model import StandardForm
 from repro.optim.solution import Solution, SolveStatus
 
@@ -32,15 +63,67 @@ class _Node:
     order: int = field(compare=True)
     lb: np.ndarray = field(compare=False, default=None)
     ub: np.ndarray = field(compare=False, default=None)
+    warm_basis: object = field(compare=False, default=None)
 
 
-def _fractional_indices(x: np.ndarray, integrality: np.ndarray) -> List[int]:
+def _fractional_indices(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
     """Indices of integer-constrained variables with fractional values."""
-    out = []
-    for i, flag in enumerate(integrality):
-        if flag and abs(x[i] - round(x[i])) > INT_TOL:
-            out.append(i)
-    return out
+    integral = np.asarray(integrality, dtype=bool)
+    distance = np.abs(x - np.round(x))
+    return np.flatnonzero(integral & (distance > INT_TOL))
+
+
+def _rebounded(form: StandardForm, lb: np.ndarray, ub: np.ndarray, zero_objective: bool = False) -> StandardForm:
+    """A view of ``form`` with node bounds (and optionally a zero objective)."""
+    return StandardForm(
+        c=np.zeros_like(form.c) if zero_objective else form.c,
+        A_ub=form.A_ub,
+        b_ub=form.b_ub,
+        A_eq=form.A_eq,
+        b_eq=form.b_eq,
+        lb=lb,
+        ub=ub,
+        integrality=form.integrality,
+        names=form.names,
+        objective_offset=0.0 if zero_objective else form.objective_offset,
+        maximize=False if zero_objective else form.maximize,
+    )
+
+
+def _make_node_solver(
+    form: StandardForm,
+    lp_solver: Optional[Callable[[StandardForm], Solution]],
+    max_iter: Optional[int],
+) -> Callable[[np.ndarray, np.ndarray, object], Tuple[Solution, object]]:
+    """Build the per-node LP solver closure.
+
+    Three flavors, in order of preference: a user-supplied callable (legacy
+    interface, gets a re-bounded ``StandardForm``), SciPy's HiGHS with direct
+    bound overrides, or the in-house :class:`~repro.optim.simplex.SimplexSolver`
+    with warm starts.
+    """
+    if lp_solver is not None:
+        def solve_custom(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+            return lp_solver(_rebounded(form, lb, ub)), None
+
+        return solve_custom
+
+    from repro.optim import scipy_backend
+
+    if scipy_backend.is_available():
+        def solve_scipy(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+            return scipy_backend.solve_lp(form, lb=lb, ub=ub, max_iter=max_iter), None
+
+        return solve_scipy
+
+    from repro.optim.simplex import SimplexSolver
+
+    session = SimplexSolver(form, max_iter=max_iter or 100_000)
+
+    def solve_simplex(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+        return session.solve(lb=lb, ub=ub, warm_basis=warm)
+
+    return solve_simplex
 
 
 def solve_milp(
@@ -48,6 +131,9 @@ def solve_milp(
     lp_solver: Optional[Callable[[StandardForm], Solution]] = None,
     max_nodes: int = 100_000,
     gap_tol: float = 1e-9,
+    mip_gap: Optional[float] = None,
+    max_iter: Optional[int] = None,
+    time_limit: Optional[float] = None,
 ) -> Solution:
     """Solve a mixed-integer program by branch and bound.
 
@@ -59,29 +145,34 @@ def solve_milp(
         Callable solving the LP relaxation of a ``StandardForm``.  Defaults to
         SciPy's HiGHS LP solver when importable (fast and numerically robust
         on the larger placement relaxations) and falls back to the in-house
-        simplex (:func:`repro.optim.simplex.solve_standard_form`) otherwise;
-        either way the branch-and-bound logic itself is this module's.
+        simplex (:class:`repro.optim.simplex.SimplexSolver`, with per-node
+        warm starts) otherwise; either way the branch-and-bound logic itself
+        is this module's.
     max_nodes:
-        Safety limit on the number of explored nodes.
+        Safety limit on the number of explored nodes.  The limit is checked
+        *before* a node is popped, so hitting it never discards an open node
+        and a ``NODE_LIMIT`` result reflects a resumable frontier.
     gap_tol:
         Absolute gap below which a node is fathomed against the incumbent.
+    mip_gap:
+        Optional relative gap; nodes within ``mip_gap * |incumbent|`` of the
+        incumbent are fathomed (same semantics as HiGHS ``mip_rel_gap``).
+    max_iter:
+        Optional simplex iteration limit forwarded to every node LP solve.
+    time_limit:
+        Optional wall-clock limit in seconds.
 
     Returns
     -------
     Solution
         Optimal solution, or a solution with status ``NODE_LIMIT`` carrying
-        the best incumbent found when the node budget is exhausted.
+        the best incumbent found when the node budget / time limit is
+        exhausted.  ``gap`` reports the final relative gap between the
+        incumbent and the best open bound -- including, when ``mip_gap`` is
+        set, subtrees fathomed by the relative-gap cutoff, so a gap-pruned
+        "optimal" honestly reports how far from a proven optimum it may be.
     """
-    if lp_solver is None:
-        from repro.optim import scipy_backend
-
-        if scipy_backend.is_available():
-            lp_solver = scipy_backend.solve_lp
-        else:
-            from repro.optim.simplex import solve_standard_form
-
-            lp_solver = solve_standard_form
-
+    node_solver = _make_node_solver(form, lp_solver, max_iter)
     sign = -1.0 if form.maximize else 1.0
 
     def relaxation_cost(solution: Solution) -> float:
@@ -89,64 +180,109 @@ def solve_milp(
         assert solution.objective is not None
         return sign * solution.objective
 
+    def cutoff() -> float:
+        """Fathoming threshold against the incumbent (absolute + relative gap)."""
+        if incumbent_cost == math.inf:
+            return math.inf
+        slack = gap_tol
+        if mip_gap is not None:
+            slack = max(slack, mip_gap * abs(incumbent_cost))
+        return incumbent_cost - slack
+
+    def feasibility_probe(lb: np.ndarray, ub: np.ndarray, budget: int) -> SolveStatus:
+        """Zero-objective MILP deciding feasibility of a node's subtree.
+
+        A zero objective is always bounded, so the probe terminates with
+        ``OPTIMAL`` (feasible), ``INFEASIBLE``, or ``NODE_LIMIT``
+        (inconclusive) and never recurses into another probe.  It inherits
+        whatever remains of the caller's node and wall-clock budgets.
+        """
+        remaining_time = None
+        if time_limit is not None:
+            remaining_time = max(time_limit - (time.monotonic() - started), 0.01)
+        probe = solve_milp(
+            _rebounded(form, lb, ub, zero_objective=True),
+            lp_solver=lp_solver,
+            max_nodes=max(budget, 1),
+            gap_tol=gap_tol,
+            max_iter=max_iter,
+            time_limit=remaining_time,
+        )
+        return probe.status
+
     root = _Node(bound=-math.inf, order=0, lb=form.lb.copy(), ub=form.ub.copy())
     counter = itertools.count(1)
     heap: List[_Node] = [root]
     incumbent: Optional[Dict[str, float]] = None
     incumbent_cost = math.inf
     nodes_explored = 0
+    limit_hit = False
+    # Best (lowest) minimization bound discarded by gap-based fathoming;
+    # tracked only under mip_gap so the final Solution.gap reflects how far
+    # from a proven optimum the pruning may have left the incumbent.
+    gap_pruned_bound = math.inf
+    started = time.monotonic()
 
     while heap:
-        node = heapq.heappop(heap)
-        if node.bound >= incumbent_cost - gap_tol:
-            continue
-        if nodes_explored >= max_nodes:
+        if nodes_explored >= max_nodes or (
+            time_limit is not None and time.monotonic() - started >= time_limit
+        ):
+            # Leave the frontier (including the node we were about to pop)
+            # intact so NODE_LIMIT results carry a correct best bound.
+            limit_hit = True
             break
+        node = heapq.heappop(heap)
+        if node.bound >= cutoff():
+            if mip_gap is not None:
+                gap_pruned_bound = min(gap_pruned_bound, node.bound)
+            continue
         nodes_explored += 1
 
-        sub = StandardForm(
-            c=form.c,
-            A_ub=form.A_ub,
-            b_ub=form.b_ub,
-            A_eq=form.A_eq,
-            b_eq=form.b_eq,
-            lb=node.lb,
-            ub=node.ub,
-            integrality=form.integrality,
-            names=form.names,
-            objective_offset=form.objective_offset,
-            maximize=form.maximize,
-        )
-        relax = lp_solver(sub)
+        relax, basis = node_solver(node.lb, node.ub, node.warm_basis)
         if relax.status is SolveStatus.INFEASIBLE:
             continue
         if relax.status is SolveStatus.UNBOUNDED:
-            # An unbounded relaxation at the root means the MILP itself is
-            # unbounded or infeasible; report unbounded which is the safest
-            # statement we can make without further probing.
-            if nodes_explored == 1 and incumbent is None:
-                return Solution(status=SolveStatus.UNBOUNDED, backend="branch-and-bound")
-            continue
+            # The node's relaxation is unbounded: the MILP restricted to this
+            # subtree is unbounded iff it is feasible.  Decide with a
+            # bounded-objective feasibility probe.
+            probe_status = feasibility_probe(node.lb, node.ub, max_nodes - nodes_explored)
+            if probe_status is SolveStatus.INFEASIBLE:
+                continue
+            # Feasible (or inconclusive probe, where unbounded remains the
+            # safest statement): the whole MILP is unbounded.
+            return Solution(
+                status=SolveStatus.UNBOUNDED,
+                backend="branch-and-bound",
+                iterations=nodes_explored,
+            )
         if relax.status is not SolveStatus.OPTIMAL:
-            continue
+            # A node LP that hit an iteration/time limit (or errored) proves
+            # nothing about its subtree; silently fathoming it could turn a
+            # feasible MILP into a reported INFEASIBLE or an unexplored
+            # subtree into a claimed OPTIMAL.  Fail loudly instead, matching
+            # the in-house node solver which raises on non-convergence.
+            raise SolverError(
+                f"node LP solve returned status {relax.status.value!r}; "
+                "raise max_iter/time_limit or use another backend"
+            )
 
         cost = relaxation_cost(relax)
-        if cost >= incumbent_cost - gap_tol:
+        if cost >= cutoff():
+            if mip_gap is not None:
+                gap_pruned_bound = min(gap_pruned_bound, cost)
             continue
 
         x = np.array([relax.values[name] for name in form.names])
         fractional = _fractional_indices(x, form.integrality)
-        if not fractional:
+        if fractional.size == 0:
             incumbent_cost = cost
             incumbent = dict(relax.values)
             continue
 
         # Branch on the most fractional variable (value closest to 0.5 away
         # from either neighbouring integer).
-        branch_var = max(
-            fractional,
-            key=lambda i: min(x[i] - math.floor(x[i]), math.ceil(x[i]) - x[i]),
-        )
+        frac = x[fractional] - np.floor(x[fractional])
+        branch_var = int(fractional[np.argmin(np.abs(frac - 0.5))])
         floor_val = math.floor(x[branch_var] + INT_TOL)
 
         down_lb, down_ub = node.lb.copy(), node.ub.copy()
@@ -155,12 +291,18 @@ def solve_milp(
         up_lb[branch_var] = max(up_lb[branch_var], floor_val + 1)
 
         if down_lb[branch_var] <= down_ub[branch_var]:
-            heapq.heappush(heap, _Node(bound=cost, order=next(counter), lb=down_lb, ub=down_ub))
+            heapq.heappush(
+                heap,
+                _Node(bound=cost, order=next(counter), lb=down_lb, ub=down_ub, warm_basis=basis),
+            )
         if up_lb[branch_var] <= up_ub[branch_var]:
-            heapq.heappush(heap, _Node(bound=cost, order=next(counter), lb=up_lb, ub=up_ub))
+            heapq.heappush(
+                heap,
+                _Node(bound=cost, order=next(counter), lb=up_lb, ub=up_ub, warm_basis=basis),
+            )
 
     if incumbent is None:
-        if nodes_explored >= max_nodes:
+        if limit_hit:
             return Solution(status=SolveStatus.NODE_LIMIT, backend="branch-and-bound", iterations=nodes_explored)
         return Solution(status=SolveStatus.INFEASIBLE, backend="branch-and-bound", iterations=nodes_explored)
 
@@ -172,12 +314,23 @@ def solve_milp(
             val = float(round(val))
         values[name] = float(val)
 
+    open_bounds = [nd.bound for nd in heap if nd.bound < cutoff()]
+    status = SolveStatus.NODE_LIMIT if limit_hit and open_bounds else SolveStatus.OPTIMAL
+    bound_candidates = list(open_bounds)
+    if gap_pruned_bound < math.inf:
+        bound_candidates.append(gap_pruned_bound)
+    if bound_candidates:
+        best_bound = min(bound_candidates)
+        gap = max(0.0, (incumbent_cost - best_bound) / max(abs(incumbent_cost), 1e-12))
+    else:
+        gap = 0.0
+
     objective = sign * incumbent_cost
-    status = SolveStatus.OPTIMAL if heap == [] or nodes_explored < max_nodes else SolveStatus.NODE_LIMIT
     return Solution(
         status=status,
         objective=objective,
         values=values,
         backend="branch-and-bound",
         iterations=nodes_explored,
+        gap=gap,
     )

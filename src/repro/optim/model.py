@@ -274,6 +274,13 @@ class StandardForm:
     ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``
     and ``lb <= x <= ub``; ``integrality[i]`` is 1 when variable ``i`` must be
     integral.
+
+    ``row_map`` (filled by :meth:`Model.to_standard_form`) maps a constraint
+    name to ``(kind, row, sign)`` where ``kind`` is ``"ub"`` or ``"eq"``,
+    ``row`` indexes into the corresponding matrix and ``sign`` records the
+    negation applied when lowering ``>=`` rows.  It is what lets
+    :class:`repro.optim.backend.SolverSession` patch coefficients and
+    right-hand sides in place instead of re-lowering the whole model.
     """
 
     c: np.ndarray
@@ -287,6 +294,7 @@ class StandardForm:
     names: List[str] = field(default_factory=list)
     objective_offset: float = 0.0
     maximize: bool = False
+    row_map: Dict[str, Tuple[str, int, float]] = field(default_factory=dict)
 
     @property
     def num_vars(self) -> int:
@@ -385,6 +393,57 @@ class Model:
         for var in self.objective.terms:
             self._check_owned(var)
 
+    # -- incremental updates -------------------------------------------------
+    def get_constr(self, name: str) -> Constraint:
+        """Return the registered constraint called ``name``.
+
+        Raises :class:`ModelError` when the name is missing or ambiguous
+        (several constraints sharing a name cannot be addressed for updates).
+        """
+        matches = [c for c in self.constraints if c.name == name]
+        if not matches:
+            raise ModelError(f"no constraint named {name!r} in model {self.name!r}")
+        if len(matches) > 1:
+            raise ModelError(
+                f"{len(matches)} constraints named {name!r} in model {self.name!r}; "
+                "rename them to address one for updates"
+            )
+        return matches[0]
+
+    def update_constraint_rhs(self, name: str, rhs: Number) -> Constraint:
+        """Change the right-hand side of constraint ``name`` in place.
+
+        Only the constant term moves; coefficients and sense are preserved.
+        Useful for parameterized models re-solved with drifting data.  Note
+        that an already-created :class:`repro.optim.backend.SolverSession`
+        snapshots the lowered matrices: update the session (not the model)
+        when re-solving through one.
+        """
+        constr = self.get_constr(name)
+        constr.expr.constant = -float(rhs)
+        return constr
+
+    def update_objective(self, expr: Union[LinExpr, Variable, Number], sense: Optional[str] = None) -> None:
+        """Replace the objective; alias of :meth:`set_objective` kept for the
+        parameterized re-solve vocabulary (`update_*` mutators)."""
+        self.set_objective(expr, sense=sense)
+
+    def session(self, backend: str = "auto", **options) -> "object":
+        """Lower the model once and return a reusable
+        :class:`repro.optim.backend.SolverSession` for incremental re-solves."""
+        from repro.optim.backend import SolverSession
+
+        return SolverSession(self, backend=backend, **options)
+
+    def attach_solution(self, solution: Solution) -> None:
+        """Record ``solution`` as this model's latest solve result.
+
+        Called by :class:`repro.optim.backend.SolverSession` so that
+        :meth:`value` and :attr:`solution` keep working after session-driven
+        re-solves.
+        """
+        self._solution = solution
+
     def _check_owned(self, var: Variable) -> None:
         owner = self._vars_by_name.get(var.name)
         if owner is not var:
@@ -427,20 +486,30 @@ class Model:
         ub_rhs: List[float] = []
         eq_rows: List[np.ndarray] = []
         eq_rhs: List[float] = []
+        row_map: Dict[str, Tuple[str, int, float]] = {}
         for constr in self.constraints:
             row = np.zeros(n)
             for var, coeff in constr.expr.terms.items():
                 row[var.index] += coeff
             rhs = constr.rhs
             if constr.sense == "<=":
+                entry = ("ub", len(ub_rows), 1.0)
                 ub_rows.append(row)
                 ub_rhs.append(rhs)
             elif constr.sense == ">=":
+                entry = ("ub", len(ub_rows), -1.0)
                 ub_rows.append(-row)
                 ub_rhs.append(-rhs)
             else:
+                entry = ("eq", len(eq_rows), 1.0)
                 eq_rows.append(row)
                 eq_rhs.append(rhs)
+            # A duplicated name cannot be addressed unambiguously; poison the
+            # entry so name-based session updates fail loudly instead of
+            # silently patching an arbitrary one of the rows.
+            row_map[constr.name] = (
+                ("dup", -1, 0.0) if constr.name in row_map else entry
+            )
 
         A_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
         A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
@@ -456,6 +525,7 @@ class Model:
             names=[v.name for v in self.variables],
             objective_offset=offset,
             maximize=maximize,
+            row_map=row_map,
         )
 
     # -- solving ------------------------------------------------------------

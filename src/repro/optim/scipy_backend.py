@@ -5,6 +5,19 @@ in-house simplex/branch-and-bound on the larger experiment instances (for
 example the 80-router POP of Figure 11).  This backend is optional: when
 SciPy is not importable the rest of the library transparently falls back to
 the pure-Python solvers.
+
+Options honored by this backend (see :func:`repro.optim.backend.solve_model`):
+
+==============  =========================================================
+``time_limit``  Wall-clock limit in seconds (LPs and MILPs).
+``mip_gap``     Relative optimality gap (MILPs; ignored for LPs).
+``max_iter``    Simplex iteration limit (LPs; ignored for MILPs, where
+                HiGHS does not expose a node-LP iteration limit).
+==============  =========================================================
+
+Warm starts and in-place re-solves are not supported by the SciPy interface;
+:class:`repro.optim.backend.SolverSession` still avoids the model re-lowering
+cost on this backend but each solve is cold.
 """
 
 from __future__ import annotations
@@ -42,18 +55,35 @@ def _status_from_scipy(success: bool, status_code: int) -> SolveStatus:
     return SolveStatus.ERROR
 
 
-def solve_lp(form: StandardForm) -> Solution:
-    """Solve the continuous relaxation of ``form`` with HiGHS."""
+def solve_lp(
+    form: StandardForm,
+    lb: Optional[np.ndarray] = None,
+    ub: Optional[np.ndarray] = None,
+    max_iter: Optional[int] = None,
+    time_limit: Optional[float] = None,
+) -> Solution:
+    """Solve the continuous relaxation of ``form`` with HiGHS.
+
+    ``lb`` / ``ub`` override the form's variable bounds without rebuilding the
+    :class:`StandardForm`; branch and bound uses this to solve node
+    relaxations against the shared constraint matrices.
+    """
     if not _HAVE_SCIPY:
         raise SolverError("scipy is not available; use the 'simplex' backend instead")
+    options = {}
+    if max_iter is not None:
+        options["maxiter"] = int(max_iter)
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
     res = linprog(
         c=form.c,
         A_ub=form.A_ub if form.A_ub.size else None,
         b_ub=form.b_ub if form.b_ub.size else None,
         A_eq=form.A_eq if form.A_eq.size else None,
         b_eq=form.b_eq if form.b_eq.size else None,
-        bounds=list(zip(form.lb, form.ub)),
+        bounds=list(zip(form.lb if lb is None else lb, form.ub if ub is None else ub)),
         method="highs",
+        options=options or None,
     )
     status = _status_from_scipy(res.success, res.status)
     if status is not SolveStatus.OPTIMAL:

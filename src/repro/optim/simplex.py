@@ -6,9 +6,29 @@ solver of :mod:`repro.optim.branch_and_bound`.  The instances appearing in
 the paper are small (tens to a few thousand variables), so a dense tableau
 with Bland's anti-cycling rule is both simple and sufficient.
 
+Every hot loop (canonicalization, pricing, ratio test, pivoting) is expressed
+as whole-array numpy operations; the only Python-level loop left is the outer
+simplex iteration itself.
+
 The entry point is :func:`solve_standard_form`, which consumes the
 :class:`repro.optim.model.StandardForm` produced by
-:meth:`repro.optim.model.Model.to_standard_form`.
+:meth:`repro.optim.model.Model.to_standard_form`.  For repeated solves over
+the same constraint matrix with changing variable bounds (branch and bound,
+parameterized re-solves) use :class:`SimplexSolver`, which canonicalizes the
+matrix structure once and supports warm starts from a previously optimal
+basis:
+
+===============  ==========================================================
+Option           Honored by the simplex backend
+===============  ==========================================================
+``max_iter``     Iteration limit shared by both simplex phases.
+warm start       Via :meth:`SimplexSolver.solve` ``warm_basis=``; a basis
+                 returned by a previous solve is re-factorized and, when
+                 still primal feasible, phase 1 is skipped entirely.
+===============  ==========================================================
+
+All other :func:`repro.optim.backend.solve_model` options are rejected for
+this backend.
 """
 
 from __future__ import annotations
@@ -25,6 +45,9 @@ from repro.optim.solution import Solution, SolveStatus
 
 #: Numerical tolerance used throughout the simplex implementation.
 EPS = 1e-9
+
+#: Tolerance under which a warm-start basic solution is accepted as feasible.
+_WARM_FEAS_TOL = 1e-7
 
 
 @dataclass
@@ -44,110 +67,105 @@ class _CanonicalLP:
     n_original: int
 
     def recover(self, y: np.ndarray) -> np.ndarray:
-        x = np.zeros(self.n_original)
-        for j in range(self.n_original):
-            value = y[self.plus_index[j]]
-            if self.minus_index[j] >= 0:
-                value -= y[self.minus_index[j]]
-            x[j] = value + self.shift[j]
-        return x
+        x = y[self.plus_index].astype(float, copy=True)
+        split = self.minus_index >= 0
+        if np.any(split):
+            x[split] -= y[self.minus_index[split]]
+        return x + self.shift
 
 
-def _canonicalize(form: StandardForm) -> _CanonicalLP:
+@dataclass
+class _Basis:
+    """Opaque warm-start token: a basis plus the canonical shape it refers to.
+
+    A basis produced on one canonical LP is only meaningful on another
+    canonical LP with the same column layout (same free/bounded classification
+    of every variable, hence the shape check in :func:`_basis_compatible`).
+    """
+
+    columns: np.ndarray  # column index of each basic variable, length m
+    n_rows: int
+    n_cols: int
+
+
+def _basis_compatible(basis: Optional[_Basis], lp: _CanonicalLP) -> bool:
+    return (
+        basis is not None
+        and basis.n_rows == lp.A.shape[0]
+        and basis.n_cols == lp.A.shape[1]
+        and basis.columns.size == lp.A.shape[0]
+    )
+
+
+def _canonicalize(
+    form: StandardForm,
+    lb: Optional[np.ndarray] = None,
+    ub: Optional[np.ndarray] = None,
+) -> _CanonicalLP:
     """Rewrite a :class:`StandardForm` into equality canonical form.
 
     Bounded variables are shifted so their lower bound becomes zero; free
     variables are split into a difference of two non-negative variables;
     finite upper bounds become explicit ``<=`` rows; finally slack variables
-    turn every inequality into an equality.
+    turn every inequality into an equality.  ``lb`` / ``ub`` override the
+    form's own bounds (used by branch and bound to canonicalize node
+    subproblems without rebuilding the :class:`StandardForm`).
     """
     n = form.num_vars
-    plus_index = np.zeros(n, dtype=int)
-    minus_index = np.full(n, -1, dtype=int)
-    shift = np.zeros(n)
+    lb = form.lb if lb is None else np.asarray(lb, dtype=float)
+    ub = form.ub if ub is None else np.asarray(ub, dtype=float)
 
-    columns = 0
-    extra_ub_rows: List[Tuple[int, float]] = []  # (original var index, shifted upper bound)
-    for j in range(n):
-        lb, ub = form.lb[j], form.ub[j]
-        if math.isinf(lb) and lb < 0:
-            plus_index[j] = columns
-            minus_index[j] = columns + 1
-            columns += 2
-            shift[j] = 0.0
-            if not math.isinf(ub):
-                extra_ub_rows.append((j, ub))
-        else:
-            plus_index[j] = columns
-            columns += 1
-            shift[j] = lb
-            if not math.isinf(ub):
-                extra_ub_rows.append((j, ub - lb))
+    free = np.isneginf(lb)
+    finite_ub = ~np.isinf(ub)
+    shift = np.where(free, 0.0, lb)
 
-    def expand_row(row: np.ndarray) -> Tuple[np.ndarray, float]:
-        """Expand an original-space row into canonical columns.
+    # Column layout: every variable gets one column, free variables a second
+    # (negative-part) column immediately after their first.
+    width = np.ones(n, dtype=int)
+    width[free] = 2
+    plus_index = np.concatenate(([0], np.cumsum(width)[:-1])).astype(int)
+    minus_index = np.where(free, plus_index + 1, -1)
+    columns = int(width.sum())
 
-        Returns the expanded row and the constant to subtract from the RHS
-        caused by lower-bound shifts.
-        """
-        new_row = np.zeros(columns)
-        offset = 0.0
-        for j in range(n):
-            coeff = row[j]
-            if coeff == 0.0:
-                continue
-            new_row[plus_index[j]] += coeff
-            if minus_index[j] >= 0:
-                new_row[minus_index[j]] -= coeff
-            offset += coeff * shift[j]
-        return new_row, offset
+    # Expansion matrix E (n x columns): original row r expands to r @ E.
+    E = np.zeros((n, columns))
+    E[np.arange(n), plus_index] = 1.0
+    if np.any(free):
+        E[free, minus_index[free]] = -1.0
 
-    ub_rows: List[np.ndarray] = []
-    ub_rhs: List[float] = []
-    for i in range(form.A_ub.shape[0]):
-        row, offset = expand_row(form.A_ub[i])
-        ub_rows.append(row)
-        ub_rhs.append(form.b_ub[i] - offset)
-    for j, bound in extra_ub_rows:
-        row = np.zeros(columns)
-        row[plus_index[j]] = 1.0
-        if minus_index[j] >= 0:
-            row[minus_index[j]] = -1.0
-        ub_rows.append(row)
-        ub_rhs.append(bound)
+    # Inequality block: original <= rows, then one bound row per finite ub.
+    ub_bound_vars = np.flatnonzero(finite_ub)
+    n_ub = form.A_ub.shape[0] + ub_bound_vars.size
+    ub_block = np.zeros((n_ub, columns))
+    ub_rhs = np.zeros(n_ub)
+    if form.A_ub.shape[0]:
+        ub_block[: form.A_ub.shape[0]] = form.A_ub @ E
+        ub_rhs[: form.A_ub.shape[0]] = form.b_ub - form.A_ub @ shift
+    if ub_bound_vars.size:
+        ub_block[form.A_ub.shape[0] :] = E[ub_bound_vars]
+        ub_rhs[form.A_ub.shape[0] :] = ub[ub_bound_vars] - shift[ub_bound_vars]
 
-    eq_rows: List[np.ndarray] = []
-    eq_rhs: List[float] = []
-    for i in range(form.A_eq.shape[0]):
-        row, offset = expand_row(form.A_eq[i])
-        eq_rows.append(row)
-        eq_rhs.append(form.b_eq[i] - offset)
-
-    n_slack = len(ub_rows)
-    total_cols = columns + n_slack
-    n_rows = len(ub_rows) + len(eq_rows)
+    n_eq = form.A_eq.shape[0]
+    n_rows = n_ub + n_eq
+    total_cols = columns + n_ub
     A = np.zeros((n_rows, total_cols))
-    b = np.zeros(n_rows)
-    for i, (row, rhs) in enumerate(zip(ub_rows, ub_rhs)):
-        A[i, :columns] = row
-        A[i, columns + i] = 1.0
-        b[i] = rhs
-    for i, (row, rhs) in enumerate(zip(eq_rows, eq_rhs)):
-        A[len(ub_rows) + i, :columns] = row
-        b[len(ub_rows) + i] = rhs
+    b = np.empty(n_rows)
+    A[:n_ub, :columns] = ub_block
+    A[:n_ub, columns:] = np.eye(n_ub)
+    b[:n_ub] = ub_rhs
+    if n_eq:
+        A[n_ub:, :columns] = form.A_eq @ E
+        b[n_ub:] = form.b_eq - form.A_eq @ shift
 
     c = np.zeros(total_cols)
-    for j in range(n):
-        coeff = form.c[j]
-        c[plus_index[j]] += coeff
-        if minus_index[j] >= 0:
-            c[minus_index[j]] -= coeff
+    c[:columns] = form.c @ E
 
-    # Normalize rows so every right-hand side is non-negative.
-    for i in range(n_rows):
-        if b[i] < 0:
-            A[i] = -A[i]
-            b[i] = -b[i]
+    # Normalize rows so every right-hand side is non-negative (required by the
+    # phase-1 artificial basis; harmless for warm starts, which refactorize).
+    negative = b < 0
+    if np.any(negative):
+        A[negative] = -A[negative]
+        b[negative] = -b[negative]
 
     return _CanonicalLP(
         c=c,
@@ -162,12 +180,22 @@ def _canonicalize(form: StandardForm) -> _CanonicalLP:
 
 def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
     """Perform a pivot on ``tableau`` at (row, col), updating the basis."""
-    pivot_value = tableau[row, col]
-    tableau[row] /= pivot_value
-    for r in range(tableau.shape[0]):
-        if r != row and abs(tableau[r, col]) > EPS:
-            tableau[r] -= tableau[r, col] * tableau[row]
+    tableau[row] /= tableau[row, col]
+    pivot_row = tableau[row]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    # Rank-1 elimination of the pivot column, restricted to the rows that
+    # actually carry it -- placement tableaus are sparse enough that this
+    # row masking beats the dense outer-product update by a wide margin.
+    touched = np.flatnonzero(np.abs(factors) > EPS)
+    if touched.size:
+        tableau[touched] -= np.outer(factors[touched], pivot_row)
     basis[row] = col
+
+
+#: Number of consecutive non-improving (degenerate) pivots after which the
+#: pricing rule falls back from Dantzig to Bland's anti-cycling rule.
+_STALL_LIMIT = 32
 
 
 def _simplex_iterations(
@@ -180,54 +208,199 @@ def _simplex_iterations(
     reduced costs and whose last column holds the right-hand side.
 
     Returns ``(status, iterations)`` with status ``"optimal"`` or
-    ``"unbounded"``.  Bland's rule (smallest index) is used for both the
-    entering and leaving variable, which guarantees termination.
+    ``"unbounded"``.  Pricing is Dantzig's rule (most negative reduced cost,
+    fast in practice) with an automatic switch to Bland's smallest-index rule
+    after :data:`_STALL_LIMIT` consecutive degenerate pivots; Bland's rule
+    stays active until the objective strictly improves, which preserves the
+    termination guarantee while avoiding its slow typical-case behavior.
+    The ratio test breaks ties on the smallest basis index.
     """
     m = tableau.shape[0] - 1
+    basis_arr = np.asarray(basis)
     iterations = 0
+    stalled = 0
     while iterations < max_iter:
         cost_row = tableau[-1, :allowed_cols]
-        entering = -1
-        for j in range(allowed_cols):
-            if cost_row[j] < -EPS:
-                entering = j
-                break
-        if entering < 0:
-            return "optimal", iterations
+        if stalled >= _STALL_LIMIT:
+            negative = np.flatnonzero(cost_row < -EPS)
+            if negative.size == 0:
+                return "optimal", iterations
+            entering = int(negative[0])
+        else:
+            entering = int(np.argmin(cost_row))
+            if cost_row[entering] >= -EPS:
+                return "optimal", iterations
 
-        leaving = -1
-        best_ratio = math.inf
-        for i in range(m):
-            coeff = tableau[i, entering]
-            if coeff > EPS:
-                ratio = tableau[i, -1] / coeff
-                if ratio < best_ratio - EPS or (
-                    abs(ratio - best_ratio) <= EPS
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving < 0:
+        column = tableau[:m, entering]
+        positive = column > EPS
+        if not np.any(positive):
             return "unbounded", iterations
+        ratios = np.full(m, math.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        best_ratio = ratios.min()
+        ties = np.flatnonzero(ratios <= best_ratio + EPS)
+        leaving = int(ties[np.argmin(basis_arr[ties])])
 
+        objective_before = tableau[-1, -1]
         _pivot(tableau, basis, leaving, entering)
+        basis_arr[leaving] = basis[leaving]
+        if tableau[-1, -1] > objective_before + EPS:
+            stalled = 0
+        else:
+            stalled += 1
         iterations += 1
     raise SolverError(f"simplex did not converge within {max_iter} iterations")
 
 
-def _solve_canonical(lp: _CanonicalLP, max_iter: int) -> Tuple[str, Optional[np.ndarray], int]:
-    """Two-phase simplex on a canonical LP.
+def _warm_start_tableau(
+    lp: _CanonicalLP, warm_basis: _Basis
+) -> Optional[Tuple[np.ndarray, List[int], bool, bool]]:
+    """Refactorize a previously optimal basis into a phase-2 tableau.
 
-    Returns ``(status, y, iterations)`` where ``y`` is the canonical solution
-    vector when status is ``"optimal"``.
+    Returns ``(tableau, basis, primal_ok, dual_ok)`` or ``None``.
+
+    Basis entries ``>= n`` denote phase-1 artificial variables left basic at
+    value zero by a redundant row; their basis column is the corresponding
+    unit vector and the warm start is only accepted if they can stay at zero
+    (a non-zero value would mean the redundant row became inconsistent).
+
+    The basis is accepted when it is *either* primal feasible (non-negative
+    basic values -- e.g. after a pure right-hand-side relaxation, resume with
+    primal phase 2 directly) *or* dual feasible (non-negative reduced costs
+    -- the typical state after a branching bound change, repaired with dual
+    simplex iterations).  Both flags are returned so the caller picks the
+    right continuation.
+
+    Returns ``None`` when the basis matrix is singular, an artificial cannot
+    stay at zero, or the basis is neither primal nor dual feasible, in which
+    case the caller falls back to the two-phase method.
+    """
+    m, n = lp.A.shape
+    if n == 0:
+        return None
+    cols = warm_basis.columns
+    artificial = cols >= n
+    structural = ~artificial
+    B = np.zeros((m, m))
+    B[:, structural] = lp.A[:, cols[structural]]
+    if np.any(artificial):
+        B[cols[artificial] - n, np.flatnonzero(artificial)] = 1.0
+    try:
+        Binv_A = np.linalg.solve(B, lp.A)
+        xB = np.linalg.solve(B, lp.b)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(xB)):
+        return None
+    if np.any(np.abs(xB[artificial]) > _WARM_FEAS_TOL):
+        return None
+    xB[artificial] = 0.0
+    c_B = np.where(structural, lp.c[np.minimum(cols, n - 1)], 0.0)
+    cost_row = lp.c - c_B @ Binv_A
+    primal_ok = bool(np.all(xB >= -_WARM_FEAS_TOL))
+    dual_ok = bool(np.all(cost_row >= -_WARM_FEAS_TOL))
+    if not primal_ok and not dual_ok:
+        return None
+    if primal_ok:
+        xB = np.maximum(xB, 0.0)
+    tableau = np.empty((m + 1, n + 1))
+    tableau[:m, :n] = Binv_A
+    tableau[:m, -1] = xB
+    tableau[-1, :n] = np.maximum(cost_row, 0.0) if dual_ok else cost_row
+    tableau[-1, -1] = -float(c_B @ xB)
+    return tableau, [int(j) for j in cols], primal_ok, dual_ok
+
+
+def _dual_simplex_iterations(
+    tableau: np.ndarray,
+    basis: List[int],
+    allowed_cols: int,
+    max_iter: int,
+) -> Tuple[str, int]:
+    """Restore primal feasibility of a dual-feasible tableau.
+
+    This is the node re-solve workhorse of warm-started branch and bound:
+    after a bound change the parent-optimal basis keeps non-negative reduced
+    costs but some basic values go negative.  Each iteration picks the most
+    negative basic value as the leaving row and the entering column by the
+    dual ratio test (ties broken on the smallest column index).
+
+    Returns ``("feasible", iters)`` when every basic value is non-negative
+    again (the tableau is then primal optimal up to residual primal pivots),
+    ``("infeasible", iters)`` when a negative row has no negative entry
+    (proof of primal infeasibility), or ``("stalled", iters)`` when the
+    iteration budget runs out and the caller should fall back to a cold solve.
+    """
+    m = tableau.shape[0] - 1
+    basis_arr = np.asarray(basis)
+    iterations = 0
+    while iterations < max_iter:
+        rhs = tableau[:m, -1]
+        leaving = int(np.argmin(rhs))
+        if rhs[leaving] >= -EPS:
+            return "feasible", iterations
+        row = tableau[leaving, :allowed_cols]
+        candidates = np.flatnonzero(row < -EPS)
+        if candidates.size == 0:
+            return "infeasible", iterations
+        ratios = tableau[-1, candidates] / (-row[candidates])
+        best = ratios.min()
+        ties = candidates[ratios <= best + EPS]
+        entering = int(ties[0])
+        _pivot(tableau, basis, leaving, entering)
+        basis_arr[leaving] = basis[leaving]
+        iterations += 1
+    return "stalled", iterations
+
+
+def _solve_canonical(
+    lp: _CanonicalLP,
+    max_iter: int,
+    warm_basis: Optional[_Basis] = None,
+) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
+    """Two-phase simplex on a canonical LP, with optional warm start.
+
+    Returns ``(status, y, iterations, basis)`` where ``y`` is the canonical
+    solution vector and ``basis`` the final basis token when status is
+    ``"optimal"``.
     """
     m, n = lp.A.shape
     if m == 0:
         # No constraints: minimize over y >= 0, optimum is 0 for non-negative
         # costs and unbounded otherwise.
         if np.any(lp.c < -EPS):
-            return "unbounded", None, 0
-        return "optimal", np.zeros(n), 0
+            return "unbounded", None, 0, None
+        return "optimal", np.zeros(n), 0, None
+
+    if _basis_compatible(warm_basis, lp):
+        warm = _warm_start_tableau(lp, warm_basis)
+        if warm is not None:
+            tableau, basis, primal_ok, dual_ok = warm
+            dual_iters = 0
+            proceed = True
+            if not primal_ok:
+                # Dual-feasible only: repair primal feasibility first.
+                dual_status, dual_iters = _dual_simplex_iterations(
+                    tableau, basis, allowed_cols=n, max_iter=max_iter
+                )
+                if dual_status == "infeasible":
+                    return "infeasible", None, dual_iters, None
+                proceed = dual_status == "feasible"
+            if proceed:
+                # Residual primal pivots: a no-op after a clean dual repair,
+                # the whole phase 2 when resuming from a primal-feasible basis.
+                status, iters = _simplex_iterations(
+                    tableau, basis, allowed_cols=n, max_iter=max_iter
+                )
+                total = dual_iters + iters
+                if status == "unbounded":
+                    return "unbounded", None, total, None
+                basis_arr = np.asarray(basis)
+                y = np.zeros(n)
+                in_cols = basis_arr < n
+                y[basis_arr[in_cols]] = tableau[:m, -1][in_cols]
+                return "optimal", y, total, _Basis(basis_arr, m, n)
+            # dual phase stalled: fall through to a cold two-phase solve.
 
     # Phase 1: artificial variables form the initial basis.
     tableau = np.zeros((m + 1, n + m + 1))
@@ -243,50 +416,50 @@ def _solve_canonical(lp: _CanonicalLP, max_iter: int) -> Tuple[str, Optional[np.
     if status != "optimal":
         raise SolverError("phase-1 simplex reported an unbounded auxiliary problem")
     if tableau[-1, -1] < -1e-7:
-        return "infeasible", None, iters1
+        return "infeasible", None, iters1, None
 
     # Drive any artificial variable still in the basis out of it.
     for i in range(m):
         if basis[i] >= n:
-            pivot_col = -1
-            for j in range(n):
-                if abs(tableau[i, j]) > EPS:
-                    pivot_col = j
-                    break
-            if pivot_col >= 0:
-                _pivot(tableau, basis, i, pivot_col)
+            structural = np.flatnonzero(np.abs(tableau[i, :n]) > EPS)
+            if structural.size:
+                _pivot(tableau, basis, i, int(structural[0]))
             # If the row is all zeros over structural columns it is redundant
             # and the artificial can stay at value zero harmlessly.
 
     # Phase 2: restore the true objective as reduced costs.
     tableau[-1, :] = 0.0
     tableau[-1, :n] = lp.c
-    for i in range(m):
-        if basis[i] < n and abs(lp.c[basis[i]]) > EPS:
-            tableau[-1] -= lp.c[basis[i]] * tableau[i]
+    basis_arr = np.asarray(basis)
+    structural_rows = np.flatnonzero(basis_arr < n)
+    if structural_rows.size:
+        costly = structural_rows[np.abs(lp.c[basis_arr[structural_rows]]) > EPS]
+        if costly.size:
+            tableau[-1] -= lp.c[basis_arr[costly]] @ tableau[costly]
     # Forbid artificial columns from re-entering.
     tableau[-1, n : n + m] = math.inf
 
     status, iters2 = _simplex_iterations(tableau, basis, allowed_cols=n, max_iter=max_iter)
     total_iters = iters1 + iters2
     if status == "unbounded":
-        return "unbounded", None, total_iters
+        return "unbounded", None, total_iters, None
 
     y = np.zeros(n)
-    for i in range(m):
-        if basis[i] < n:
-            y[basis[i]] = tableau[i, -1]
-    return "optimal", y, total_iters
+    basis_arr = np.asarray(basis)
+    in_cols = basis_arr < n
+    y[basis_arr[in_cols]] = tableau[:m, -1][in_cols]
+    # Entries >= n mark artificials pinned at zero on redundant rows; the
+    # warm-start path knows how to rebuild their basis columns.
+    return "optimal", y, total_iters, _Basis(basis_arr, m, n)
 
 
-def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:
-    """Solve the LP relaxation of a :class:`StandardForm` with the simplex.
-
-    Integrality markers are ignored; use
-    :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
-    """
-    lp = _canonicalize(form)
-    status, y, iterations = _solve_canonical(lp, max_iter=max_iter)
+def _solution_from_canonical(
+    form: StandardForm,
+    lp: _CanonicalLP,
+    status: str,
+    y: Optional[np.ndarray],
+    iterations: int,
+) -> Solution:
     if status == "infeasible":
         return Solution(status=SolveStatus.INFEASIBLE, backend="simplex", iterations=iterations)
     if status == "unbounded":
@@ -301,3 +474,57 @@ def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution
         backend="simplex",
         iterations=iterations,
     )
+
+
+class SimplexSolver:
+    """Reusable simplex session over one :class:`StandardForm`.
+
+    Branch and bound (and :class:`repro.optim.backend.SolverSession`) solve
+    many LPs that share the constraint matrix and differ only in variable
+    bounds or right-hand sides.  This class canonicalizes per solve with
+    vectorized kernels (cheap: a handful of matrix products) and, more
+    importantly, accepts a warm-start basis from a previous solve: when the
+    parent basis is still primal feasible after a bound change, phase 1 is
+    skipped entirely.
+    """
+
+    def __init__(self, form: StandardForm, max_iter: int = 100_000) -> None:
+        self.form = form
+        self.max_iter = max_iter
+
+    def solve(
+        self,
+        lb: Optional[np.ndarray] = None,
+        ub: Optional[np.ndarray] = None,
+        warm_basis: Optional[_Basis] = None,
+        max_iter: Optional[int] = None,
+    ) -> Tuple[Solution, Optional[_Basis]]:
+        """Solve the LP with overridden bounds; returns (solution, basis).
+
+        The returned basis token can be handed back as ``warm_basis`` on a
+        later solve (typically of a child branch-and-bound node); it is
+        ignored automatically when the canonical shape changed, e.g. when a
+        previously infinite bound became finite.
+
+        ``max_iter`` bounds each simplex phase separately (dual repair,
+        residual primal, and -- if the warm start stalls -- the cold
+        two-phase fallback), so a pathological solve may cost a small
+        multiple of it; treat it as a convergence safety net, not an exact
+        work budget.
+        """
+        lp = _canonicalize(self.form, lb=lb, ub=ub)
+        status, y, iterations, basis = _solve_canonical(
+            lp, max_iter=self.max_iter if max_iter is None else max_iter, warm_basis=warm_basis
+        )
+        return _solution_from_canonical(self.form, lp, status, y, iterations), basis
+
+
+def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:
+    """Solve the LP relaxation of a :class:`StandardForm` with the simplex.
+
+    Integrality markers are ignored; use
+    :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
+    """
+    lp = _canonicalize(form)
+    status, y, iterations, _ = _solve_canonical(lp, max_iter=max_iter)
+    return _solution_from_canonical(form, lp, status, y, iterations)

@@ -35,7 +35,7 @@ from repro.passive.ilp import (
     solve_max_coverage,
 )
 from repro.passive.costs import LinkCostModel, uniform_costs, capacity_scaled_costs
-from repro.passive.sampling import SamplingPlacement, SamplingProblem, solve_ppme
+from repro.passive.sampling import PPMESession, SamplingPlacement, SamplingProblem, solve_ppme
 from repro.passive.dynamic import (
     DynamicMonitoringController,
     TrafficDriftModel,
@@ -60,6 +60,7 @@ __all__ = [
     "expected_gain",
     "k_shortest_paths",
     "optimize_routing_for_monitoring",
+    "PPMESession",
     "reoptimize_sampling_rates",
     "solve_arc_path_ilp",
     "solve_budget_limited",

@@ -29,6 +29,7 @@ from repro.optim.errors import InfeasibleError
 from repro.passive.costs import LinkCostModel
 from repro.passive.sampling import (
     PathId,
+    PPMESession,
     SamplingPlacement,
     SamplingProblem,
     _build_ppme_model,
@@ -149,6 +150,17 @@ class DynamicMonitoringController:
         Per-traffic minimum ratio ``h_t`` forwarded to PPME*.
     costs:
         Cost model used by the re-optimizations.
+    solver_options:
+        Extra solver options (e.g. ``time_limit``) forwarded to every PPME*
+        re-solve; see :data:`repro.optim.backend.BACKEND_OPTIONS`.
+
+    Notes
+    -----
+    Re-optimizations run through a :class:`repro.passive.sampling.PPMESession`
+    built lazily on the first trigger: the PPME* LP is lowered once and each
+    subsequent trigger only patches the drifted traffic volumes into the
+    constraint matrices (warm-starting the in-house simplex), instead of
+    rebuilding ``SamplingProblem`` + model from scratch.
     """
 
     def __init__(
@@ -159,6 +171,7 @@ class DynamicMonitoringController:
         traffic_min_ratio: float | Mapping[Hashable, float] = 0.0,
         costs: Optional[LinkCostModel] = None,
         backend: str = "auto",
+        solver_options: Optional[Mapping[str, object]] = None,
     ) -> None:
         if not 0.0 < coverage <= 1.0:
             raise ValueError("coverage must be in (0, 1]")
@@ -170,8 +183,10 @@ class DynamicMonitoringController:
         self.traffic_min_ratio = traffic_min_ratio
         self.costs = costs
         self.backend = backend
+        self.solver_options = dict(solver_options or {})
         self.current_rates: Dict[LinkKey, float] = {}
         self.current_fractions: Dict[PathId, float] = {}
+        self._session: Optional[PPMESession] = None
 
     # -- coverage under fixed rates ------------------------------------------
     def achieved_coverage(self, traffic: TrafficMatrix) -> float:
@@ -193,15 +208,28 @@ class DynamicMonitoringController:
         return monitored / total
 
     def reoptimize(self, traffic: TrafficMatrix) -> SamplingPlacement:
-        """Run PPME* for the given traffic and adopt the new rates."""
-        problem = SamplingProblem(
-            traffic=traffic,
-            coverage=self.coverage,
-            traffic_min_ratio=self.traffic_min_ratio,
-            costs=self.costs,
-            candidate_links=self.installed_links,
-        )
-        placement = reoptimize_sampling_rates(problem, self.installed_links, backend=self.backend)
+        """Run PPME* for the given traffic and adopt the new rates.
+
+        The first call lowers the LP once; later calls only patch the drifted
+        volumes into the cached matrices and re-solve.
+        """
+        if self._session is None:
+            problem = SamplingProblem(
+                traffic=traffic,
+                coverage=self.coverage,
+                traffic_min_ratio=self.traffic_min_ratio,
+                costs=self.costs,
+                candidate_links=self.installed_links,
+            )
+            self._session = PPMESession(
+                problem,
+                self.installed_links,
+                backend=self.backend,
+                solver_options=self.solver_options,
+            )
+            placement = self._session.reoptimize()
+        else:
+            placement = self._session.reoptimize(traffic)
         self.current_rates = dict(placement.sampling_rates)
         self.current_fractions = dict(placement.path_fractions)
         return placement

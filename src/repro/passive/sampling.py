@@ -188,8 +188,8 @@ def _build_ppme_model(
             model.add_constr(delta[path_id] <= 0, name=f"sample[{path_id}]")
 
     # Sampling requires an installed device.
-    for link in links:
-        model.add_constr(x[link] >= r[link], name=f"install[{links.index(link)}]")
+    for i, link in enumerate(links):
+        model.add_constr(x[link] >= r[link], name=f"install[{i}]")
 
     # Per-traffic minimum monitoring ratio h_t.
     ratios = problem.min_ratios()
@@ -253,6 +253,103 @@ def _extract_placement(
         traffic_coverage=traffic_cov,
         method=method,
     )
+
+
+def _traffic_signature(traffic: TrafficMatrix) -> Tuple:
+    """Structural identity of a matrix: traffic ids and route node sequences.
+
+    Two matrices with the same signature differ only in route *volumes*, which
+    is exactly the case :class:`PPMESession` can re-solve incrementally.
+    """
+    return tuple(
+        (t.traffic_id, tuple(tuple(route.nodes) for route in t.routes)) for t in traffic
+    )
+
+
+class PPMESession:
+    """Incrementally re-solvable PPME*(x, h, k) for drifting traffic volumes.
+
+    The Section 5.4 controller re-solves the *same* LP structure at every
+    trigger: device positions are frozen, path sets are unchanged, only the
+    route volumes move.  This class builds Linear program 3 once, keeps a
+    :class:`repro.optim.SolverSession` over it, and on each
+    :meth:`reoptimize` call patches only the volume-dependent data -- the
+    coefficients and right-hand sides of the per-traffic and global coverage
+    constraints -- before re-solving (warm-started on the in-house simplex).
+
+    If the traffic *structure* changes (new traffics or re-routed paths) the
+    model is transparently rebuilt from scratch.
+    """
+
+    def __init__(
+        self,
+        problem: SamplingProblem,
+        installed_links: Iterable[LinkKey],
+        backend: str = "auto",
+        solver_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.installed_links = [link_key(*l) for l in installed_links]
+        self.backend = backend
+        self.solver_options = dict(solver_options or {})
+        self.rebuilds = 0
+        self._build(problem)
+
+    def _build(self, problem: SamplingProblem) -> None:
+        self.problem = problem
+        self.model, self._x, self._r, self._delta = _build_ppme_model(
+            problem, installed_links=self.installed_links
+        )
+        self._session = self.model.session(backend=self.backend, **self.solver_options)
+        self._signature = _traffic_signature(problem.traffic)
+        self._min_ratios = problem.min_ratios()
+        self.rebuilds += 1
+
+    def _replace_problem(self, traffic: TrafficMatrix) -> SamplingProblem:
+        base = self.problem
+        return SamplingProblem(
+            traffic=traffic,
+            coverage=base.coverage,
+            traffic_min_ratio=base.traffic_min_ratio,
+            costs=base.costs,
+            candidate_links=base.candidate_links,
+        )
+
+    def _patch_volumes(self, problem: SamplingProblem) -> None:
+        """Push the new volumes into the lowered matrices (no re-lowering)."""
+        session = self._session
+        paths = problem.paths()
+        for path_id, route in paths.items():
+            session.update_constraint_coeff("coverage", self._delta[path_id], route.volume)
+        session.update_constraint_rhs("coverage", problem.coverage * problem.total_volume)
+        for traffic in problem.traffic:
+            h_t = self._min_ratios[traffic.traffic_id]
+            if h_t <= 0:
+                continue
+            name = f"traffic-min[{traffic.traffic_id}]"
+            for index in range(len(traffic.routes)):
+                path_id = (traffic.traffic_id, index)
+                session.update_constraint_coeff(name, self._delta[path_id], paths[path_id].volume)
+            session.update_constraint_rhs(name, h_t * traffic.volume)
+        self.problem = problem
+
+    def reoptimize(self, traffic: Optional[TrafficMatrix] = None) -> SamplingPlacement:
+        """Re-solve PPME* (optionally under new volumes) and extract the plan.
+
+        Raises
+        ------
+        InfeasibleError
+            When the frozen deployment cannot reach the objectives under the
+            given traffic.
+        """
+        if traffic is not None:
+            if _traffic_signature(traffic) == self._signature:
+                self._patch_volumes(self._replace_problem(traffic))
+            else:
+                self._build(self._replace_problem(traffic))
+        self._session.solve(raise_on_infeasible=True)
+        return _extract_placement(
+            self.problem, self.model, self._x, self._r, self._delta, method="ppme*"
+        )
 
 
 def solve_ppme(problem: SamplingProblem, backend: str = "auto") -> SamplingPlacement:

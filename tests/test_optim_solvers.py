@@ -208,6 +208,187 @@ class TestMixedIntegerPrograms:
         assert sol.objective == pytest.approx(15.0, abs=1e-6)
 
 
+class TestOptionPlumbing:
+    """solve_model option names are unified, forwarded, and validated."""
+
+    @pytest.mark.parametrize("backend", ["scipy", "simplex", "branch-and-bound"])
+    def test_unknown_option_raises(self, backend):
+        m = _lp_example()
+        with pytest.raises(SolverError, match="does not recognize"):
+            solve_model(m, backend=backend, node_limit=5)
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_mip_gap_honored_across_mip_backends(self, backend):
+        m = _mip_example()
+        sol = m.solve(backend=backend, mip_gap=1e-4)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(15.0, abs=1e-6)
+
+    def test_mip_gap_rejected_by_simplex(self):
+        m = _lp_example()
+        with pytest.raises(SolverError):
+            solve_model(m, backend="simplex", mip_gap=0.01)
+
+    def test_large_mip_gap_returns_incumbent_within_gap(self):
+        m = _mip_example()
+        sol = m.solve(backend="branch-and-bound", mip_gap=0.5)
+        assert sol.objective is not None
+        assert sol.objective >= 15.0 * (1 - 0.5) - 1e-9
+
+    def test_max_iter_reaches_branch_and_bound_node_lps(self, monkeypatch):
+        monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        m = _mip_example()
+        with pytest.raises(SolverError, match="did not converge"):
+            solve_model(m, backend="branch-and-bound", max_iter=1)
+
+    def test_node_lp_iteration_limit_raises_not_infeasible(self):
+        # With scipy node LPs, an iteration-limited node must abort loudly
+        # instead of being silently fathomed (which reported a feasible MILP
+        # as INFEASIBLE).
+        m = _mip_example()
+        with pytest.raises(SolverError, match="node LP"):
+            solve_model(m, backend="branch-and-bound", max_iter=1)
+
+    def test_time_limit_accepted_by_branch_and_bound(self):
+        m = _mip_example()
+        sol = m.solve(backend="branch-and-bound", time_limit=30.0)
+        assert sol.objective == pytest.approx(15.0, abs=1e-6)
+
+
+def _fractional_root_mip():
+    """A knapsack whose LP relaxation is fractional at the root."""
+    weights = [2, 3, 4]
+    values = [3, 4, 5]
+    m = Model("frac-knapsack", sense="max")
+    xs = [m.add_var(f"z{i}", vartype="binary") for i in range(3)]
+    m.add_constr(lin_sum(weights[i] * xs[i] for i in range(3)) <= 7)
+    m.set_objective(lin_sum(values[i] * xs[i] for i in range(3)))
+    return m
+
+
+class TestMilpStatusEdges:
+    """Regression tests for the unbounded-root and max_nodes edge fixes."""
+
+    @pytest.mark.parametrize("inhouse_nodes", [False, True])
+    def test_unbounded_relaxation_infeasible_milp(self, monkeypatch, inhouse_nodes):
+        # LP relaxation is unbounded (min -x, x >= 0 free above) but the MILP
+        # is infeasible: z integer has no integer point in [0.4, 0.6].  The
+        # feasibility probe must report INFEASIBLE, not UNBOUNDED.
+        if inhouse_nodes:
+            monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        m = Model("edge", sense="min")
+        x = m.add_var("x")
+        m.add_var("z", lb=0.4, ub=0.6, vartype="integer")
+        m.set_objective(-x)
+        assert m.solve(backend="branch-and-bound").status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("inhouse_nodes", [False, True])
+    def test_unbounded_relaxation_feasible_milp(self, monkeypatch, inhouse_nodes):
+        if inhouse_nodes:
+            monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        m = Model("edge2", sense="min")
+        x = m.add_var("x")
+        m.add_var("z", vartype="binary")
+        m.set_objective(-x)
+        assert m.solve(backend="branch-and-bound").status is SolveStatus.UNBOUNDED
+
+    def test_node_limit_is_labeled_not_infeasible(self):
+        # Exactly one node explored (the fractional root): the limit must
+        # yield NODE_LIMIT -- before the fix the frontier node popped at the
+        # limit was discarded and the result could read INFEASIBLE/OPTIMAL.
+        form = _fractional_root_mip().to_standard_form()
+        sol = solve_milp(form, max_nodes=1)
+        assert sol.status is SolveStatus.NODE_LIMIT
+        assert sol.iterations == 1
+
+    def test_node_limit_zero_budget(self):
+        form = _fractional_root_mip().to_standard_form()
+        sol = solve_milp(form, max_nodes=0)
+        assert sol.status is SolveStatus.NODE_LIMIT
+        assert sol.iterations == 0
+
+    def test_same_instance_solves_with_budget(self):
+        form = _fractional_root_mip().to_standard_form()
+        sol = solve_milp(form, max_nodes=1000)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(9.0, abs=1e-6)
+
+    def test_node_limit_with_incumbent_reports_gap(self):
+        # A budget large enough to find an incumbent but too small to close
+        # the tree: status NODE_LIMIT, incumbent kept, non-negative gap.
+        rng = np.random.default_rng(3)
+        m = Model("gapped", sense="min")
+        xs = [m.add_var(f"z{i}", vartype="binary") for i in range(12)]
+        for row in range(8):
+            coeffs = rng.uniform(0.1, 1.0, size=12)
+            m.add_constr(lin_sum(float(c) * x for c, x in zip(coeffs, xs)) >= 2.0)
+        m.set_objective(lin_sum(float(w) * x for w, x in zip(rng.uniform(1, 3, size=12), xs)))
+        full = solve_milp(m.to_standard_form())
+        assert full.status is SolveStatus.OPTIMAL
+        limited = solve_milp(m.to_standard_form(), max_nodes=2)
+        assert limited.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+        if limited.status is SolveStatus.NODE_LIMIT:
+            assert limited.objective is None or limited.objective >= full.objective - 1e-6
+            assert limited.gap >= 0.0
+
+
+class TestSolverSession:
+    def test_session_updates_and_warm_resolves(self):
+        m = Model("sess", sense="min")
+        a, b = m.add_var("a"), m.add_var("b")
+        m.add_constr(a + b >= 4, name="cover")
+        m.set_objective(2 * a + 3 * b)
+        session = m.session(backend="simplex")
+        assert session.solve().objective == pytest.approx(8.0)
+        session.update_constraint_rhs("cover", 10)
+        assert session.solve().objective == pytest.approx(20.0)
+        session.update_constraint_coeff("cover", "b", 2.0)
+        session.update_objective_coeff("a", 5.0)
+        sol = session.solve()
+        assert sol.objective == pytest.approx(15.0)
+        # The session attaches solutions back to the model.
+        assert m.value("b") == pytest.approx(5.0)
+
+    def test_session_var_bound_updates(self):
+        m = Model("bounds", sense="max")
+        x = m.add_var("x", ub=4.0)
+        m.set_objective(x)
+        session = m.session(backend="simplex")
+        assert session.solve().objective == pytest.approx(4.0)
+        session.update_var_bounds("x", ub=2.5)
+        assert session.solve().objective == pytest.approx(2.5)
+
+    def test_session_unknown_constraint_or_option(self):
+        m = _lp_example()
+        m.add_constr(m.get_var("x") >= 0, name="named")
+        session = m.session(backend="simplex")
+        with pytest.raises(Exception):
+            session.update_constraint_rhs("missing", 1.0)
+        with pytest.raises(SolverError):
+            m.session(backend="simplex", mip_gap=0.1)
+
+    def test_duplicate_constraint_names_rejected_for_updates(self):
+        m = Model("dups", sense="min")
+        x = m.add_var("x")
+        m.add_constr(x >= 1, name="cap")
+        m.add_constr(x >= 2, name="cap")
+        m.set_objective(x)
+        session = m.session(backend="simplex")
+        with pytest.raises(Exception, match="shared by several"):
+            session.update_constraint_rhs("cap", 5.0)
+        with pytest.raises(Exception, match="2 constraints named"):
+            m.update_constraint_rhs("cap", 5.0)
+
+    def test_model_update_constraint_rhs_roundtrip(self):
+        m = Model("roundtrip", sense="min")
+        x = m.add_var("x")
+        m.add_constr(x >= 3, name="floor")
+        m.set_objective(x)
+        assert m.solve(backend="simplex").objective == pytest.approx(3.0)
+        m.update_constraint_rhs("floor", 7)
+        assert m.solve(backend="simplex").objective == pytest.approx(7.0)
+
+
 class TestStandardFormSolvers:
     def test_simplex_on_standard_form_directly(self):
         m = _lp_example()
