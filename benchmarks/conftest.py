@@ -15,7 +15,13 @@ Set ``REPRO_BENCH_SEEDS`` to change the number of random seeds averaged over
 Every benchmark run also appends its per-figure wall-times to
 ``BENCH_optim.json`` at the repository root (see ``_bench_records``), so the
 performance trajectory of the optimization stack is recorded across PRs.
-Set ``REPRO_BENCH_NO_PERSIST=1`` to skip the write (e.g. exploratory runs).
+Since the sparse revised simplex landed, each run entry also carries a
+``solver_counters`` block -- per-benchmark pivot counts, basis
+(re)factorizations, canonicalizations and peak stored nonzeros from
+:mod:`repro.optim.instrumentation` -- so a wall-time movement can be
+attributed to solver behaviour (fewer pivots? cheaper factors?) rather than
+guessed at.  Set ``REPRO_BENCH_NO_PERSIST=1`` to skip the write (e.g.
+exploratory runs).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.optim import instrumentation as instr
 
 #: Where the per-figure wall-time trajectory is persisted.
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_optim.json"
@@ -48,9 +55,9 @@ def _bench_records():
     At session teardown the collected timings are appended as one run entry
     to ``BENCH_optim.json`` so the perf trajectory accumulates across PRs.
     """
-    records = {}
+    records = {"wall": {}, "counters": {}}
     yield records
-    if not records or os.environ.get("REPRO_BENCH_NO_PERSIST"):
+    if not records["wall"] or os.environ.get("REPRO_BENCH_NO_PERSIST"):
         return
     payload = {"runs": []}
     if BENCH_RESULTS_PATH.exists():
@@ -66,7 +73,8 @@ def _bench_records():
         {
             "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "seeds": _seed_count(),
-            "wall_times_s": dict(sorted(records.items())),
+            "wall_times_s": dict(sorted(records["wall"].items())),
+            "solver_counters": dict(sorted(records["counters"].items())),
         }
     )
     try:
@@ -80,10 +88,18 @@ def _bench_records():
 
 @pytest.fixture(autouse=True)
 def _record_wall_time(request, _bench_records):
-    """Record each benchmark's wall-time (workload + solves) by test name."""
+    """Record each benchmark's wall-time and solver counters by test name.
+
+    The instrumentation counters are global, so they are reset at the start
+    of each benchmark; the snapshot taken at the end is what this
+    benchmark's solves actually did (pivots, factorizations,
+    canonicalizations, peak stored nonzeros).
+    """
+    instr.reset()
     start = time.perf_counter()
     yield
-    _bench_records[request.node.name] = round(time.perf_counter() - start, 3)
+    _bench_records["wall"][request.node.name] = round(time.perf_counter() - start, 3)
+    _bench_records["counters"][request.node.name] = instr.snapshot()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,84 @@
+"""In-house solver benchmarks: the sparse revised simplex as the MILP engine.
+
+The figure benchmarks run on the default (HiGHS) backend, so they say
+nothing about the in-house solver.  These benchmarks mask SciPy
+availability, forcing branch and bound onto the sparse revised simplex with
+warm-started factorized bases, and rely on the conftest harness to persist
+pivot / dual-pivot / (re)factorization / canonicalization counts and peak
+stored nonzeros alongside the wall-times in ``BENCH_optim.json`` -- the
+numbers that make a sparse-vs-dense win attributable rather than anecdotal.
+
+Workloads mirror the PR 2 comparison table in ``ROADMAP.md`` (pop10,
+seed 0, setup cost 5x exploitation).  The full 132-traffic exact MILP takes
+over a minute; set ``REPRO_BENCH_FULL=1`` to include it.
+"""
+
+from __future__ import annotations
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.experiments import ExperimentConfig, figure7_passive_pop10
+from repro.optim import scipy_backend
+from repro.passive.costs import uniform_costs
+from repro.passive.sampling import SamplingProblem, solve_ppme
+from repro.topology import paper_pop
+from repro.traffic import generate_traffic_matrix
+
+
+def _ppme_problem(n_traffics=None):
+    pop = paper_pop("pop10", seed=0)
+    matrix = generate_traffic_matrix(pop, seed=0)
+    if n_traffics is not None:
+        matrix = type(matrix)(list(matrix)[:n_traffics])
+    costs = uniform_costs(matrix.links, setup=5.0, exploitation=1.0)
+    return SamplingProblem(
+        traffic=matrix, coverage=0.9, traffic_min_ratio=0.05, costs=costs
+    )
+
+
+def _solve_inhouse_ppme(problem):
+    with mock.patch.object(scipy_backend, "is_available", lambda: False):
+        return solve_ppme(problem, backend="branch-and-bound")
+
+
+def test_bench_inhouse_ppme_milp_80(benchmark):
+    problem = _ppme_problem(80)
+    placement = benchmark.pedantic(
+        _solve_inhouse_ppme, args=(problem,), rounds=1, iterations=1
+    )
+    print(
+        f"\nin-house PPME MILP (80 traffics): devices={placement.num_devices} "
+        f"cost={placement.total_cost:.3f}"
+    )
+    assert placement.num_devices > 0
+    assert placement.coverage >= 0.9 - 1e-6
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_FULL"),
+    reason="full 132-traffic exact MILP takes minutes; set REPRO_BENCH_FULL=1",
+)
+def test_bench_inhouse_ppme_milp_full(benchmark):
+    problem = _ppme_problem()
+    placement = benchmark.pedantic(
+        _solve_inhouse_ppme, args=(problem,), rounds=1, iterations=1
+    )
+    print(
+        f"\nin-house PPME MILP (full pop10): devices={placement.num_devices} "
+        f"cost={placement.total_cost:.3f}"
+    )
+    assert placement.coverage >= 0.9 - 1e-6
+
+
+def test_bench_inhouse_figure7(benchmark):
+    def run():
+        with mock.patch.object(scipy_backend, "is_available", lambda: False):
+            return figure7_passive_pop10(config=ExperimentConfig(seeds=(0,)))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nin-house figure-7 sweep: {len(rows)} coverage targets")
+    for row in rows:
+        assert row["ilp_devices"] <= row["greedy_devices"] + 1e-9

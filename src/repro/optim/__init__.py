@@ -5,17 +5,24 @@ the monitoring-placement formulations of the paper.  It plays the role that
 CPLEX plays in the original article:
 
 * :mod:`repro.optim.model` -- a declarative modelling API (variables, linear
-  expressions, constraints, objective) similar in spirit to PuLP.
-* :mod:`repro.optim.simplex` -- a dense two-phase primal simplex solver for
-  linear programs with fully vectorized numpy kernels, plus a dual-simplex
-  warm-start path (:class:`~repro.optim.simplex.SimplexSolver`) for repeated
-  solves over a shared constraint matrix.
+  expressions, constraints, objective) similar in spirit to PuLP, lowering
+  to sparse CSC matrices (:mod:`repro.optim.sparse`) by default.
+* :mod:`repro.optim.simplex` -- a sparse revised simplex for linear
+  programs: the basis is kept LU-factorized and maintained with
+  product-form eta updates plus periodic refactorization, with Dantzig /
+  Bland pricing and a bounded-variable dual simplex for warm starts
+  (:class:`~repro.optim.simplex.SimplexSolver`).
 * :mod:`repro.optim.branch_and_bound` -- an incremental branch-and-bound
-  driver: the matrices are lowered once, nodes carry only their bound
-  arrays, and each child warm-starts from its parent's optimal basis.
+  driver: the model is lowered and canonicalized exactly once, nodes carry
+  only their bound arrays, and each child warm-starts from its parent's
+  factorized basis (repaired with dual simplex pivots).
 * :mod:`repro.optim.scipy_backend` -- an optional backend delegating to
-  SciPy's HiGHS interface (``scipy.optimize.linprog`` / ``milp``), which is
-  much faster on the larger experiment instances.
+  SciPy's HiGHS interface (``scipy.optimize.linprog`` / ``milp``), fed the
+  sparse matrices directly (no densification), which is much faster on the
+  larger experiment instances.
+* :mod:`repro.optim.instrumentation` -- global counters (pivots,
+  factorizations, canonicalizations, peak nonzeros) the benchmarks persist
+  alongside wall-times.
 
 Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
 ``gap_tol``) use one unified vocabulary; the matrix of which backend honors

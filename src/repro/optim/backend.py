@@ -5,9 +5,10 @@ The rest of the library never imports a solver directly; it calls
 dispatcher picks an appropriate backend:
 
 * ``"scipy"`` -- HiGHS via SciPy, fastest, used by default when available.
-* ``"simplex"`` -- the in-house dense simplex; ignores integrality unless
-  wrapped by branch and bound.
-* ``"branch-and-bound"`` -- the in-house MILP solver (simplex at each node).
+* ``"simplex"`` -- the in-house sparse revised simplex; ignores integrality
+  unless wrapped by branch and bound.
+* ``"branch-and-bound"`` -- the in-house MILP solver (revised simplex at
+  each node, warm-started from the parent's factorized basis).
 * ``"auto"`` -- ``scipy`` when importable, otherwise the in-house solvers.
 
 Backend / option matrix
@@ -54,6 +55,7 @@ import numpy as np
 from repro.optim.errors import InfeasibleError, ModelError, SolverError, UnboundedError
 from repro.optim.model import Model, StandardForm, Variable
 from repro.optim.solution import Solution, SolveStatus
+from repro.optim.sparse import is_sparse
 
 #: Canonical backend names accepted by :func:`solve_model`.
 BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
@@ -209,6 +211,7 @@ class SolverSession:
         self._sign = -1.0 if self.form.maximize else 1.0
         self._simplex = None  # lazily-built SimplexSolver for warm starts
         self._basis = None
+        self._coeffs_dirty = False  # matrix coefficients patched since last solve
         self.solves = 0
 
     # -- update surface ----------------------------------------------------
@@ -239,9 +242,20 @@ class SolverSession:
         b[row] = sign * float(rhs)
 
     def update_constraint_coeff(self, name: str, var: Union[Variable, str], coeff: float) -> None:
-        """Set one coefficient of constraint ``name`` (model orientation)."""
+        """Set one coefficient of constraint ``name`` (model orientation).
+
+        The patch lands directly in the lowered (sparse) matrix; touching a
+        coefficient that is part of the sparsity pattern -- explicit zeros
+        included -- is an in-place O(log nnz) update, while introducing a
+        brand-new nonzero grows the pattern.
+        """
         A, _, row, sign = self._row(name)
-        A[row, self._var_index(var)] = sign * float(coeff)
+        col = self._var_index(var)
+        if is_sparse(A):
+            A.set(row, col, sign * float(coeff))
+        else:
+            A[row, col] = sign * float(coeff)
+        self._coeffs_dirty = True
 
     def update_objective_coeff(self, var: Union[Variable, str], coeff: float) -> None:
         """Set the objective coefficient of ``var`` (model sense)."""
@@ -275,6 +289,12 @@ class SolverSession:
 
             if self._simplex is None:
                 self._simplex = SimplexSolver(self.form)
+            elif self._coeffs_dirty:
+                # Bounds, right-hand sides and objective coefficients are
+                # re-read by every solve; only matrix-coefficient patches
+                # require re-lowering the canonical arrays.
+                self._simplex.refresh()
+            self._coeffs_dirty = False
             solution, self._basis = self._simplex.solve(
                 warm_basis=self._basis,
                 max_iter=merged.get("max_iter"),

@@ -1,0 +1,61 @@
+"""Lightweight global performance counters for the optimization stack.
+
+The sparse revised simplex and the branch-and-bound driver report what they
+actually did -- pivots, basis (re)factorizations, canonicalizations, peak
+stored nonzeros -- through this module, so benchmarks can attribute
+wall-time wins to solver behaviour instead of guessing (the counters are
+persisted next to the wall-times in ``BENCH_optim.json``).
+
+The counters are process-global and not thread-safe; the repo's workloads
+are single-threaded solves.  Typical usage::
+
+    from repro.optim import instrumentation as instr
+
+    instr.reset()
+    ... run solves ...
+    print(instr.snapshot()["pivots"])
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Counter names tracked by the solver stack.
+COUNTER_NAMES = (
+    "pivots",             # primal simplex pivots (bound flips included)
+    "dual_pivots",        # dual simplex (warm-start repair) pivots
+    "factorizations",     # basis LU factorizations, initial ones included
+    "refactorizations",   # periodic refactorizations triggered by eta growth
+    "eta_updates",        # product-form basis updates between factorizations
+    "canonicalizations",  # StandardForm -> canonical bounded-LP lowerings
+    "lp_solves",          # LP solves completed by the in-house simplex
+    "peak_nnz",           # peak stored nonzeros (canonical matrix + eta file)
+)
+
+_counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+
+def reset() -> None:
+    """Zero every counter."""
+    for name in COUNTER_NAMES:
+        _counters[name] = 0
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment counter ``name`` by ``amount``."""
+    _counters[name] += int(amount)
+
+
+def record_max(name: str, value: int) -> None:
+    """Raise counter ``name`` to ``value`` when it is a new high-water mark."""
+    if value > _counters[name]:
+        _counters[name] = int(value)
+
+
+def get(name: str) -> int:
+    return _counters[name]
+
+
+def snapshot() -> Dict[str, int]:
+    """A point-in-time copy of every counter."""
+    return dict(_counters)

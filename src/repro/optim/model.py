@@ -8,9 +8,16 @@ independent of the solver backend used underneath.
 A :class:`Model` owns :class:`Variable` objects.  Arithmetic on variables
 builds :class:`LinExpr` objects, and comparisons (``<=``, ``>=``, ``==``)
 build :class:`Constraint` objects that can be added to the model.  The model
-can then be lowered to a :class:`StandardForm` (dense numpy arrays) consumed
-by the solvers in :mod:`repro.optim.simplex`,
-:mod:`repro.optim.branch_and_bound` and :mod:`repro.optim.scipy_backend`.
+can then be lowered to a :class:`StandardForm` consumed by the solvers in
+:mod:`repro.optim.simplex`, :mod:`repro.optim.branch_and_bound` and
+:mod:`repro.optim.scipy_backend`.
+
+Lowering is *sparse by default*: the constraint matrices come out as
+:class:`repro.optim.sparse.SparseMatrix` (CSC) built straight from the
+constraint terms without ever materializing dense rows -- the placement
+programs of the paper are >95% zeros and every consumer (the sparse revised
+simplex, branch and bound, SciPy's HiGHS) operates on the sparse arrays
+directly.  Pass ``sparse=False`` to get the legacy dense numpy matrices.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import numpy as np
 
 from repro.optim.errors import ModelError
 from repro.optim.solution import Solution
+from repro.optim.sparse import SparseMatrix, as_dense
 
 Number = Union[int, float]
 
@@ -269,11 +277,14 @@ class Constraint:
 
 @dataclass
 class StandardForm:
-    """Dense matrix form of a model, in minimization sense.
+    """Matrix form of a model, in minimization sense.
 
     ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``
     and ``lb <= x <= ub``; ``integrality[i]`` is 1 when variable ``i`` must be
-    integral.
+    integral.  ``A_ub`` / ``A_eq`` are :class:`repro.optim.sparse.SparseMatrix`
+    under the default sparse lowering and plain ``np.ndarray`` under
+    ``to_standard_form(sparse=False)``; both expose ``shape`` and ``size``,
+    and :func:`repro.optim.sparse.as_dense` converts uniformly.
 
     ``row_map`` (filled by :meth:`Model.to_standard_form`) maps a constraint
     name to ``(kind, row, sign)`` where ``kind`` is ``"ub"`` or ``"eq"``,
@@ -284,9 +295,9 @@ class StandardForm:
     """
 
     c: np.ndarray
-    A_ub: np.ndarray
+    A_ub: Union[np.ndarray, SparseMatrix]
     b_ub: np.ndarray
-    A_eq: np.ndarray
+    A_eq: Union[np.ndarray, SparseMatrix]
     b_eq: np.ndarray
     lb: np.ndarray
     ub: np.ndarray
@@ -470,8 +481,17 @@ class Model:
         return self.num_integer_vars > 0
 
     # -- lowering -----------------------------------------------------------
-    def to_standard_form(self) -> StandardForm:
-        """Lower the model to dense arrays in minimization sense."""
+    def to_standard_form(self, sparse: bool = True) -> StandardForm:
+        """Lower the model to minimization standard form.
+
+        With ``sparse=True`` (the default) the constraint matrices are
+        :class:`repro.optim.sparse.SparseMatrix` in CSC layout, assembled
+        directly from the constraint terms as coordinate triplets; no dense
+        row is ever materialized.  Terms carrying an explicit ``0.0``
+        coefficient are kept in the sparsity pattern, so later in-place
+        session updates of those coefficients stay structural no-ops.
+        ``sparse=False`` produces the equivalent dense numpy matrices.
+        """
         n = self.num_vars
         c = np.zeros(n)
         for var, coeff in self.objective.terms.items():
@@ -482,28 +502,32 @@ class Model:
             c = -c
             offset = -offset
 
-        ub_rows: List[np.ndarray] = []
+        ub_r: List[int] = []
+        ub_c: List[int] = []
+        ub_v: List[float] = []
         ub_rhs: List[float] = []
-        eq_rows: List[np.ndarray] = []
+        eq_r: List[int] = []
+        eq_c: List[int] = []
+        eq_v: List[float] = []
         eq_rhs: List[float] = []
         row_map: Dict[str, Tuple[str, int, float]] = {}
         for constr in self.constraints:
-            row = np.zeros(n)
-            for var, coeff in constr.expr.terms.items():
-                row[var.index] += coeff
             rhs = constr.rhs
             if constr.sense == "<=":
-                entry = ("ub", len(ub_rows), 1.0)
-                ub_rows.append(row)
-                ub_rhs.append(rhs)
+                entry = ("ub", len(ub_rhs), 1.0)
+                rows, cols, vals, rhs_list, sign = ub_r, ub_c, ub_v, ub_rhs, 1.0
             elif constr.sense == ">=":
-                entry = ("ub", len(ub_rows), -1.0)
-                ub_rows.append(-row)
-                ub_rhs.append(-rhs)
+                entry = ("ub", len(ub_rhs), -1.0)
+                rows, cols, vals, rhs_list, sign = ub_r, ub_c, ub_v, ub_rhs, -1.0
             else:
-                entry = ("eq", len(eq_rows), 1.0)
-                eq_rows.append(row)
-                eq_rhs.append(rhs)
+                entry = ("eq", len(eq_rhs), 1.0)
+                rows, cols, vals, rhs_list, sign = eq_r, eq_c, eq_v, eq_rhs, 1.0
+            row = len(rhs_list)
+            for var, coeff in constr.expr.terms.items():
+                rows.append(row)
+                cols.append(var.index)
+                vals.append(sign * coeff)
+            rhs_list.append(sign * rhs)
             # A duplicated name cannot be addressed unambiguously; poison the
             # entry so name-based session updates fail loudly instead of
             # silently patching an arbitrary one of the rows.
@@ -511,13 +535,13 @@ class Model:
                 ("dup", -1, 0.0) if constr.name in row_map else entry
             )
 
-        A_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
-        A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
+        A_ub = SparseMatrix.from_coo(ub_r, ub_c, ub_v, (len(ub_rhs), n))
+        A_eq = SparseMatrix.from_coo(eq_r, eq_c, eq_v, (len(eq_rhs), n))
         return StandardForm(
             c=c,
-            A_ub=A_ub,
+            A_ub=A_ub if sparse else A_ub.to_dense(),
             b_ub=np.array(ub_rhs, dtype=float),
-            A_eq=A_eq,
+            A_eq=A_eq if sparse else A_eq.to_dense(),
             b_eq=np.array(eq_rhs, dtype=float),
             lb=np.array([v.lb for v in self.variables], dtype=float),
             ub=np.array([v.ub for v in self.variables], dtype=float),

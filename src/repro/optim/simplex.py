@@ -1,47 +1,67 @@
-"""Dense two-phase primal simplex solver.
+"""Sparse revised simplex with a factorized, incrementally-updated basis.
 
-This module implements a from-scratch LP solver on top of numpy, used both as
-a standalone backend for the paper's linear relaxations and as the node
-solver of :mod:`repro.optim.branch_and_bound`.  The instances appearing in
-the paper are small (tens to a few thousand variables), so a dense tableau
-with Bland's anti-cycling rule is both simple and sufficient.
+This module replaces the PR 1 dense-tableau simplex.  The solver operates on
+a *bounded-variable* canonical form built from the sparse
+:class:`repro.optim.model.StandardForm`:
 
-Every hot loop (canonicalization, pricing, ratio test, pivoting) is expressed
-as whole-array numpy operations; the only Python-level loop left is the outer
-simplex iteration itself.
+``min c @ y`` s.t. ``A @ y == b`` and ``lower <= y <= upper``
 
-The entry point is :func:`solve_standard_form`, which consumes the
-:class:`repro.optim.model.StandardForm` produced by
-:meth:`repro.optim.model.Model.to_standard_form`.  For repeated solves over
-the same constraint matrix with changing variable bounds (branch and bound,
-parameterized re-solves) use :class:`SimplexSolver`, which canonicalizes the
-matrix structure once and supports warm starts from a previously optimal
-basis:
+where ``A`` is a :class:`repro.optim.sparse.SparseMatrix` (CSC) assembled
+once per structure -- original columns (free variables split into two
+non-negative parts) plus one slack column per inequality row.  Variable
+bounds are handled *implicitly* by the simplex (non-basic variables rest at
+a finite bound), so no bound rows are materialized and branch-and-bound
+node bounds are pure data changes against a shared canonical structure.
+
+Instead of a dense tableau the solver keeps only the basis factorized:
+
+* an LU factorization of the basis matrix ``B`` (SuperLU via
+  ``scipy.sparse.linalg.splu`` for larger bases when SciPy is importable, a
+  dense LAPACK inverse otherwise),
+* a product-form eta file of the pivots applied since the last
+  factorization (each pivot is an O(m) rank-1 update token),
+* periodic refactorization every :data:`_REFACTOR_INTERVAL` etas, which
+  also recomputes the basic values to wash out drift.
+
+Per iteration the work is two triangular solves against the factorization
+(FTRAN/BTRAN), one O(nnz) sparse pricing pass and an O(m) state update --
+never the O(m*n) full-tableau pivot of the previous implementation.
+
+Pricing is Dantzig's rule with an automatic switch to Bland's smallest-index
+rule after :data:`_STALL_LIMIT` consecutive degenerate pivots, exactly as
+before.  Warm starts (branch-and-bound children, parameterized re-solves)
+restore the parent's basis *and* non-basic bound statuses, refactorize once,
+and repair primal feasibility with a bounded-variable dual simplex; when the
+basis is already primal feasible phase 1 is skipped outright.
+
+Options honored (see :func:`repro.optim.backend.solve_model`):
 
 ===============  ==========================================================
-Option           Honored by the simplex backend
-===============  ==========================================================
-``max_iter``     Iteration limit shared by both simplex phases.
+``max_iter``     Iteration limit applied to each simplex phase.
 warm start       Via :meth:`SimplexSolver.solve` ``warm_basis=``; a basis
-                 returned by a previous solve is re-factorized and, when
-                 still primal feasible, phase 1 is skipped entirely.
+                 returned by a previous solve is re-factorized and repaired
+                 with dual simplex pivots (or resumed directly when still
+                 primal feasible).
 ===============  ==========================================================
 
-All other :func:`repro.optim.backend.solve_model` options are rejected for
-this backend.
+Solver activity (pivots, factorizations, canonicalizations, peak stored
+nonzeros) is reported through :mod:`repro.optim.instrumentation`.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.optim import instrumentation as instr
 from repro.optim.errors import SolverError
 from repro.optim.model import StandardForm
 from repro.optim.solution import Solution, SolveStatus
+from repro.optim.sparse import SparseMatrix, is_sparse
 
 #: Numerical tolerance used throughout the simplex implementation.
 EPS = 1e-9
@@ -49,52 +69,123 @@ EPS = 1e-9
 #: Tolerance under which a warm-start basic solution is accepted as feasible.
 _WARM_FEAS_TOL = 1e-7
 
+#: Sum of artificial values above which phase 1 declares infeasibility.
+_PHASE1_TOL = 1e-7
+
+#: Number of consecutive non-improving (degenerate) pivots after which the
+#: pricing rule falls back from Dantzig to Bland's anti-cycling rule.
+_STALL_LIMIT = 32
+
+#: Eta-file length that triggers a basis refactorization.  Every FTRAN /
+#: BTRAN pays O(m) per recorded eta, so short eta files beat long ones as
+#: soon as refactorization is cheap; 16 measured best on the pop10
+#: placement MILPs (3.5s vs 7.0s at 64 for the 80-traffic PPME tree).
+_REFACTOR_INTERVAL = 16
+
+#: Below this basis dimension a dense LAPACK factorization beats SuperLU's
+#: setup overhead even when SciPy is importable.
+_SPLU_MIN_DIM = 60
+
+try:  # pragma: no cover - exercised implicitly via _BasisFactor
+    from scipy.sparse import csc_matrix as _scipy_csc
+    from scipy.sparse.linalg import splu as _scipy_splu
+
+    _HAVE_SPLU = True
+except Exception:  # pragma: no cover - numpy-only environment
+    _HAVE_SPLU = False
+
+#: Non-basic-at-lower-bound / non-basic-at-upper-bound / basic statuses.
+AT_LOWER, AT_UPPER, BASIC = 0, 1, 2
+
+
+#: Monotonic stamp distinguishing canonical lowerings; a stored basis
+#: factorization is only reusable against the exact matrix data (stamp) it
+#: was computed from.
+_lowering_stamp = itertools.count(1)
+
 
 @dataclass
 class _CanonicalLP:
-    """LP in the canonical form ``min c @ y`` s.t. ``A @ y == b``, ``y >= 0``.
+    """Bounded-variable canonical LP sharing one sparse structure.
 
     ``recover`` maps a canonical solution vector back to the original
-    variable space (undoing bound shifts and free-variable splits).
+    variable space (merging the split parts of free variables).  The
+    structure (column layout, sparsity pattern) depends only on the matrix
+    pattern and on *which* variables are free -- per-node bound values are
+    patched in place through :meth:`set_bounds`.
     """
 
     c: np.ndarray
-    A: np.ndarray
+    A: SparseMatrix
     b: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
     plus_index: np.ndarray
     minus_index: np.ndarray
-    shift: np.ndarray
+    free_mask: np.ndarray
     n_original: int
+    n_ub: int
+    stamp: int = 0
+
+    @property
+    def m(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[1]
 
     def recover(self, y: np.ndarray) -> np.ndarray:
         x = y[self.plus_index].astype(float, copy=True)
         split = self.minus_index >= 0
         if np.any(split):
             x[split] -= y[self.minus_index[split]]
-        return x + self.shift
+        return x
+
+    def set_bounds(self, lb: np.ndarray, ub: np.ndarray) -> None:
+        """Patch per-variable bounds into the canonical columns in place."""
+        bounded = ~self.free_mask
+        cols = self.plus_index[bounded]
+        self.lower[cols] = lb[bounded]
+        self.upper[cols] = ub[bounded]
 
 
 @dataclass
 class _Basis:
-    """Opaque warm-start token: a basis plus the canonical shape it refers to.
+    """Opaque warm-start token: basis columns plus non-basic bound statuses.
 
-    A basis produced on one canonical LP is only meaningful on another
-    canonical LP with the same column layout (same free/bounded classification
-    of every variable, hence the shape check in :func:`_basis_compatible`).
+    Basis entries ``>= n_cols`` denote phase-1 artificial variables left
+    basic at value zero by a redundant row; ``art_sign`` records the unit
+    column sign they were created with so the basis matrix can be rebuilt.
+    ``factor`` carries the factorization that was current at optimality;
+    warm starts clone it (sharing the immutable LU base, copying the eta
+    file) instead of refactorizing, so a branch-and-bound child pays zero
+    factorizations until its own eta file fills up.
     """
 
-    columns: np.ndarray  # column index of each basic variable, length m
+    basis: np.ndarray  # column index of each basic variable, length m
+    vstat: np.ndarray  # status of every column (structural + artificial)
+    art_sign: np.ndarray
     n_rows: int
     n_cols: int
+    free_mask: np.ndarray
+    factor: Optional["_BasisFactor"] = None
 
 
 def _basis_compatible(basis: Optional[_Basis], lp: _CanonicalLP) -> bool:
     return (
         basis is not None
-        and basis.n_rows == lp.A.shape[0]
-        and basis.n_cols == lp.A.shape[1]
-        and basis.columns.size == lp.A.shape[0]
+        and basis.n_rows == lp.m
+        and basis.n_cols == lp.n
+        and basis.basis.size == lp.m
+        and np.array_equal(basis.free_mask, lp.free_mask)
     )
+
+
+def _as_sparse(matrix) -> SparseMatrix:
+    if is_sparse(matrix):
+        return matrix
+    return SparseMatrix.from_dense(np.asarray(matrix, dtype=float))
 
 
 def _canonicalize(
@@ -102,355 +193,606 @@ def _canonicalize(
     lb: Optional[np.ndarray] = None,
     ub: Optional[np.ndarray] = None,
 ) -> _CanonicalLP:
-    """Rewrite a :class:`StandardForm` into equality canonical form.
+    """Lower a :class:`StandardForm` into bounded-variable canonical form.
 
-    Bounded variables are shifted so their lower bound becomes zero; free
-    variables are split into a difference of two non-negative variables;
-    finite upper bounds become explicit ``<=`` rows; finally slack variables
-    turn every inequality into an equality.  ``lb`` / ``ub`` override the
-    form's own bounds (used by branch and bound to canonicalize node
-    subproblems without rebuilding the :class:`StandardForm`).
+    Free variables (no finite bound on either side) are split into a
+    difference of two non-negative columns; every inequality row gets a
+    slack column; bounds stay implicit.  ``lb`` / ``ub`` override the form's
+    own bounds (used by branch and bound for node subproblems).
     """
+    instr.add("canonicalizations")
     n = form.num_vars
     lb = form.lb if lb is None else np.asarray(lb, dtype=float)
     ub = form.ub if ub is None else np.asarray(ub, dtype=float)
+    free = np.isneginf(lb) & np.isposinf(ub)
 
-    free = np.isneginf(lb)
-    finite_ub = ~np.isinf(ub)
-    shift = np.where(free, 0.0, lb)
-
-    # Column layout: every variable gets one column, free variables a second
-    # (negative-part) column immediately after their first.
-    width = np.ones(n, dtype=int)
+    width = np.ones(n, dtype=np.int64)
     width[free] = 2
-    plus_index = np.concatenate(([0], np.cumsum(width)[:-1])).astype(int)
+    plus_index = np.concatenate(([0], np.cumsum(width)[:-1])).astype(np.int64)
     minus_index = np.where(free, plus_index + 1, -1)
-    columns = int(width.sum())
+    n_exp = int(width.sum())
 
-    # Expansion matrix E (n x columns): original row r expands to r @ E.
-    E = np.zeros((n, columns))
-    E[np.arange(n), plus_index] = 1.0
-    if np.any(free):
-        E[free, minus_index[free]] = -1.0
+    A_ub = _as_sparse(form.A_ub)
+    A_eq = _as_sparse(form.A_eq)
+    m_ub, m_eq = A_ub.shape[0], A_eq.shape[0]
+    m = m_ub + m_eq
+    n_cols = n_exp + m_ub
 
-    # Inequality block: original <= rows, then one bound row per finite ub.
-    ub_bound_vars = np.flatnonzero(finite_ub)
-    n_ub = form.A_ub.shape[0] + ub_bound_vars.size
-    ub_block = np.zeros((n_ub, columns))
-    ub_rhs = np.zeros(n_ub)
-    if form.A_ub.shape[0]:
-        ub_block[: form.A_ub.shape[0]] = form.A_ub @ E
-        ub_rhs[: form.A_ub.shape[0]] = form.b_ub - form.A_ub @ shift
-    if ub_bound_vars.size:
-        ub_block[form.A_ub.shape[0] :] = E[ub_bound_vars]
-        ub_rhs[form.A_ub.shape[0] :] = ub[ub_bound_vars] - shift[ub_bound_vars]
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    for block, offset in ((A_ub, 0), (A_eq, m_ub)):
+        if block.nnz:
+            cid = block.col_ids()
+            rows.append(block.indices + offset)
+            cols.append(plus_index[cid])
+            vals.append(block.data)
+            split = free[cid]
+            if split.any():
+                rows.append(block.indices[split] + offset)
+                cols.append(minus_index[cid[split]])
+                vals.append(-block.data[split])
+    if m_ub:
+        slack_rows = np.arange(m_ub, dtype=np.int64)
+        rows.append(slack_rows)
+        cols.append(n_exp + slack_rows)
+        vals.append(np.ones(m_ub))
+    if rows:
+        A = SparseMatrix.from_coo(
+            np.concatenate(rows), np.concatenate(cols), np.concatenate(vals), (m, n_cols)
+        )
+    else:
+        A = SparseMatrix.zeros((m, n_cols))
 
-    n_eq = form.A_eq.shape[0]
-    n_rows = n_ub + n_eq
-    total_cols = columns + n_ub
-    A = np.zeros((n_rows, total_cols))
-    b = np.empty(n_rows)
-    A[:n_ub, :columns] = ub_block
-    A[:n_ub, columns:] = np.eye(n_ub)
-    b[:n_ub] = ub_rhs
-    if n_eq:
-        A[n_ub:, :columns] = form.A_eq @ E
-        b[n_ub:] = form.b_eq - form.A_eq @ shift
+    c = np.zeros(n_cols)
+    c[plus_index] = form.c
+    if free.any():
+        c[minus_index[free]] = -form.c[free]
 
-    c = np.zeros(total_cols)
-    c[:columns] = form.c @ E
+    lower = np.zeros(n_cols)
+    upper = np.full(n_cols, np.inf)
+    bounded = ~free
+    lower[plus_index[bounded]] = lb[bounded]
+    upper[plus_index[bounded]] = ub[bounded]
 
-    # Normalize rows so every right-hand side is non-negative (required by the
-    # phase-1 artificial basis; harmless for warm starts, which refactorize).
-    negative = b < 0
-    if np.any(negative):
-        A[negative] = -A[negative]
-        b[negative] = -b[negative]
-
+    instr.record_max("peak_nnz", A.nnz)
     return _CanonicalLP(
         c=c,
         A=A,
-        b=b,
+        b=np.concatenate((form.b_ub, form.b_eq)),
+        lower=lower,
+        upper=upper,
         plus_index=plus_index,
         minus_index=minus_index,
-        shift=shift,
+        free_mask=free,
         n_original=n,
+        n_ub=m_ub,
+        stamp=next(_lowering_stamp),
     )
 
 
-def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
-    """Perform a pivot on ``tableau`` at (row, col), updating the basis."""
-    tableau[row] /= tableau[row, col]
-    pivot_row = tableau[row]
-    factors = tableau[:, col].copy()
-    factors[row] = 0.0
-    # Rank-1 elimination of the pivot column, restricted to the rows that
-    # actually carry it -- placement tableaus are sparse enough that this
-    # row masking beats the dense outer-product update by a wide margin.
-    touched = np.flatnonzero(np.abs(factors) > EPS)
-    if touched.size:
-        tableau[touched] -= np.outer(factors[touched], pivot_row)
-    basis[row] = col
+class _SingularBasis(Exception):
+    """The selected basis matrix is numerically singular."""
 
 
-#: Number of consecutive non-improving (degenerate) pivots after which the
-#: pricing rule falls back from Dantzig to Bland's anti-cycling rule.
-_STALL_LIMIT = 32
+class _BasisFactor:
+    """LU factorization of the basis plus a product-form eta file.
+
+    ``ftran`` solves ``B x = rhs`` and ``btran`` solves ``B^T y = rhs``;
+    both first go through the LU factors of the basis as of the last
+    (re)factorization, then through the O(m) eta updates recorded since.
+    """
+
+    __slots__ = ("m", "stamp", "_etas_r", "_etas_w", "_splu", "_inv", "_base_nnz")
+
+    def __init__(self, lp: _CanonicalLP, basis: np.ndarray, art_sign: np.ndarray) -> None:
+        m, n_cols = lp.m, lp.n
+        self.m = m
+        self.stamp = lp.stamp
+        self._etas_r: List[int] = []
+        self._etas_w: List[np.ndarray] = []
+        self._splu = None
+        self._inv = None
+        instr.add("factorizations")
+
+        # Assemble the basis matrix directly in CSC layout: basis columns
+        # keep the (already sorted) row slices of the structural columns,
+        # artificial columns are single signed units.
+        structural = basis < n_cols
+        struct_pos = np.flatnonzero(structural)
+        art_pos = np.flatnonzero(~structural)
+        sj = basis[struct_pos].astype(np.int64)
+        indptr, indices, data = lp.A.indptr, lp.A.indices, lp.A.data
+        lens = indptr[sj + 1] - indptr[sj]
+        col_lens = np.zeros(m, dtype=np.int64)
+        col_lens[struct_pos] = lens
+        col_lens[art_pos] = 1
+        indptr_B = np.concatenate(([0], np.cumsum(col_lens)))
+        total = int(indptr_B[-1])
+        rows_B = np.empty(total, dtype=np.int64)
+        vals_B = np.empty(total, dtype=np.float64)
+        if sj.size:
+            offsets = np.concatenate(([0], np.cumsum(lens)))
+            src = (
+                np.arange(int(offsets[-1]), dtype=np.int64)
+                - np.repeat(offsets[:-1], lens)
+                + np.repeat(indptr[sj], lens)
+            )
+            dst = (
+                np.arange(int(offsets[-1]), dtype=np.int64)
+                - np.repeat(offsets[:-1], lens)
+                + np.repeat(indptr_B[struct_pos], lens)
+            )
+            rows_B[dst] = indices[src]
+            vals_B[dst] = data[src]
+        if art_pos.size:
+            art_rows = basis[art_pos] - n_cols
+            slots = indptr_B[art_pos]
+            rows_B[slots] = art_rows
+            vals_B[slots] = art_sign[art_rows]
+
+        if _HAVE_SPLU and m >= _SPLU_MIN_DIM:
+            matrix = _scipy_csc(
+                (vals_B, rows_B.astype(np.int32), indptr_B.astype(np.int32)), shape=(m, m)
+            )
+            try:
+                self._splu = _scipy_splu(matrix)
+            except RuntimeError as exc:  # exactly singular
+                raise _SingularBasis(str(exc)) from None
+            self._base_nnz = int(self._splu.L.nnz + self._splu.U.nnz)
+        else:
+            B = np.zeros((m, m))
+            B[rows_B, np.repeat(np.arange(m), col_lens)] = vals_B
+            try:
+                self._inv = np.linalg.inv(B)
+            except np.linalg.LinAlgError as exc:
+                raise _SingularBasis(str(exc)) from None
+            self._base_nnz = m * m
+        instr.record_max("peak_nnz", lp.A.nnz + self._base_nnz)
+
+    def clone(self) -> "_BasisFactor":
+        """Copy-on-write duplicate: shared immutable LU base, private etas.
+
+        Lets a warm start resume from the factorization stored in a
+        :class:`_Basis` token without refactorizing and without corrupting
+        siblings that hold the same token.
+        """
+        dup = object.__new__(_BasisFactor)
+        dup.m = self.m
+        dup.stamp = self.stamp
+        dup._splu = self._splu
+        dup._inv = self._inv
+        dup._base_nnz = self._base_nnz
+        dup._etas_r = list(self._etas_r)
+        dup._etas_w = list(self._etas_w)
+        return dup
+
+    # -- eta file ----------------------------------------------------------
+    @property
+    def n_etas(self) -> int:
+        return len(self._etas_r)
+
+    def needs_refactor(self) -> bool:
+        return len(self._etas_r) >= _REFACTOR_INTERVAL
+
+    def update(self, row: int, w: np.ndarray) -> None:
+        """Record the pivot ``basis[row] <- column with B^-1 a_q == w``."""
+        self._etas_r.append(int(row))
+        self._etas_w.append(w)
+        instr.add("eta_updates")
+
+    # -- solves ------------------------------------------------------------
+    def _base_solve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._splu is not None:
+            return self._splu.solve(rhs)
+        return self._inv @ rhs
+
+    def _base_solve_T(self, rhs: np.ndarray) -> np.ndarray:
+        if self._splu is not None:
+            return self._splu.solve(rhs, trans="T")
+        return self._inv.T @ rhs
+
+    def ftran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B x = rhs`` (LU, then etas oldest-first)."""
+        x = self._base_solve(rhs)
+        for r, w in zip(self._etas_r, self._etas_w):
+            xr = x[r] / w[r]
+            x -= w * xr
+            x[r] = xr
+        return x
+
+    def btran(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``B^T y = rhs`` (etas newest-first, then LU transpose)."""
+        v = rhs.astype(float, copy=True)
+        for r, w in zip(reversed(self._etas_r), reversed(self._etas_w)):
+            v[r] = (v[r] - (w @ v - w[r] * v[r])) / w[r]
+        return self._base_solve_T(v)
 
 
-def _simplex_iterations(
-    tableau: np.ndarray,
-    basis: List[int],
-    allowed_cols: int,
-    max_iter: int,
-) -> Tuple[str, int]:
-    """Run primal simplex iterations on a tableau whose last row holds
-    reduced costs and whose last column holds the right-hand side.
+class _State:
+    """Mutable simplex state: basis, statuses, basic values, factorization."""
+
+    __slots__ = ("lp", "basis", "vstat", "art_sign", "lower_ext", "upper_ext", "xB", "factor")
+
+    def __init__(
+        self,
+        lp: _CanonicalLP,
+        basis: np.ndarray,
+        vstat: np.ndarray,
+        art_sign: np.ndarray,
+        lower_ext: np.ndarray,
+        upper_ext: np.ndarray,
+    ) -> None:
+        self.lp = lp
+        self.basis = basis
+        self.vstat = vstat
+        self.art_sign = art_sign
+        self.lower_ext = lower_ext
+        self.upper_ext = upper_ext
+        self.xB = np.zeros(lp.m)
+        self.factor: Optional[_BasisFactor] = None
+
+    def nonbasic_values(self) -> np.ndarray:
+        """Value of every column as implied by its status (0 on basic slots)."""
+        x = np.where(self.vstat == AT_UPPER, self.upper_ext, self.lower_ext)
+        x[self.vstat == BASIC] = 0.0
+        return x
+
+    def compute_xB(self) -> None:
+        """Recompute basic values from scratch: ``xB = B^-1 (b - N x_N)``."""
+        x = self.nonbasic_values()
+        resid = self.lp.b - self.lp.A.matvec(x[: self.lp.n])
+        self.xB = self.factor.ftran(resid)
+
+    def factorize(self) -> None:
+        self.factor = _BasisFactor(self.lp, self.basis, self.art_sign)
+
+    def refactor(self) -> None:
+        """Periodic refactorization: rebuild LU and wash out eta drift."""
+        instr.add("refactorizations")
+        self.factorize()
+        self.compute_xB()
+
+    def solution_vector(self) -> np.ndarray:
+        x = self.nonbasic_values()
+        x[self.basis] = self.xB
+        return x[: self.lp.n]
+
+
+def _primal_iterations(state: _State, costs: np.ndarray, max_iter: int) -> Tuple[str, int]:
+    """Bounded-variable primal revised simplex.
 
     Returns ``(status, iterations)`` with status ``"optimal"`` or
-    ``"unbounded"``.  Pricing is Dantzig's rule (most negative reduced cost,
-    fast in practice) with an automatic switch to Bland's smallest-index rule
-    after :data:`_STALL_LIMIT` consecutive degenerate pivots; Bland's rule
-    stays active until the objective strictly improves, which preserves the
-    termination guarantee while avoiding its slow typical-case behavior.
-    The ratio test breaks ties on the smallest basis index.
+    ``"unbounded"``.  Entering candidates are non-basic, non-fixed columns
+    whose reduced cost improves the objective in the direction their bound
+    allows; the ratio test accounts for both bounds of every basic variable
+    and for the entering variable's own opposite bound (a "bound flip",
+    which costs no basis change at all).
     """
-    m = tableau.shape[0] - 1
-    basis_arr = np.asarray(basis)
+    lp = state.lp
+    A, m, n_cols = lp.A, lp.m, lp.n
+    movable = state.lower_ext[:n_cols] < state.upper_ext[:n_cols]
     iterations = 0
     stalled = 0
     while iterations < max_iter:
-        cost_row = tableau[-1, :allowed_cols]
+        if state.factor.needs_refactor():
+            state.refactor()
+        y = state.factor.btran(costs[state.basis])
+        d = costs[:n_cols] - A.rmatvec(y)
+        eligible = movable & (
+            ((state.vstat[:n_cols] == AT_LOWER) & (d < -EPS))
+            | ((state.vstat[:n_cols] == AT_UPPER) & (d > EPS))
+        )
+        idx = np.flatnonzero(eligible)
+        if idx.size == 0:
+            return "optimal", iterations
         if stalled >= _STALL_LIMIT:
-            negative = np.flatnonzero(cost_row < -EPS)
-            if negative.size == 0:
-                return "optimal", iterations
-            entering = int(negative[0])
+            q = int(idx[0])  # Bland's anti-cycling rule
         else:
-            entering = int(np.argmin(cost_row))
-            if cost_row[entering] >= -EPS:
-                return "optimal", iterations
+            q = int(idx[np.argmax(np.abs(d[idx]))])  # Dantzig
+        sigma = 1.0 if d[q] < 0 else -1.0
 
-        column = tableau[:m, entering]
-        positive = column > EPS
-        if not np.any(positive):
+        col = A.gather_col(q, np.zeros(m))
+        w = state.factor.ftran(col)
+        wd = sigma * w
+        lB = state.lower_ext[state.basis]
+        uB = state.upper_ext[state.basis]
+        t = np.full(m, math.inf)
+        pos = wd > EPS
+        neg = wd < -EPS
+        with np.errstate(invalid="ignore"):
+            t[pos] = (state.xB[pos] - lB[pos]) / wd[pos]
+            t[neg] = (state.xB[neg] - uB[neg]) / wd[neg]
+        np.nan_to_num(t, copy=False, nan=math.inf, posinf=math.inf, neginf=math.inf)
+        np.maximum(t, 0.0, out=t)
+        t_basic = float(t.min()) if m else math.inf
+        t_flip = state.upper_ext[q] - state.lower_ext[q]
+        if not (math.isfinite(t_basic) or math.isfinite(t_flip)):
             return "unbounded", iterations
-        ratios = np.full(m, math.inf)
-        ratios[positive] = tableau[:m, -1][positive] / column[positive]
-        best_ratio = ratios.min()
-        ties = np.flatnonzero(ratios <= best_ratio + EPS)
-        leaving = int(ties[np.argmin(basis_arr[ties])])
 
-        objective_before = tableau[-1, -1]
-        _pivot(tableau, basis, leaving, entering)
-        basis_arr[leaving] = basis[leaving]
-        if tableau[-1, -1] > objective_before + EPS:
+        if t_flip <= t_basic:
+            # The entering variable hits its own opposite bound first: flip
+            # its status, adjust the basic values, no pivot.
+            state.xB -= t_flip * wd
+            state.vstat[q] = AT_UPPER if sigma > 0 else AT_LOWER
+            step = t_flip
+        else:
+            ties = np.flatnonzero(t <= t_basic + EPS)
+            r = int(ties[np.argmin(state.basis[ties])])
+            leaving = int(state.basis[r])
+            state.xB -= t_basic * wd
+            enter_from = state.lower_ext[q] if sigma > 0 else state.upper_ext[q]
+            state.xB[r] = enter_from + sigma * t_basic
+            state.vstat[leaving] = AT_LOWER if wd[r] > 0 else AT_UPPER
+            state.vstat[q] = BASIC
+            state.basis[r] = q
+            state.factor.update(r, w)
+            step = t_basic
+        iterations += 1
+        instr.add("pivots")
+        if abs(d[q]) * step > EPS:
             stalled = 0
         else:
             stalled += 1
-        iterations += 1
     raise SolverError(f"simplex did not converge within {max_iter} iterations")
 
 
-def _warm_start_tableau(
-    lp: _CanonicalLP, warm_basis: _Basis
-) -> Optional[Tuple[np.ndarray, List[int], bool, bool]]:
-    """Refactorize a previously optimal basis into a phase-2 tableau.
-
-    Returns ``(tableau, basis, primal_ok, dual_ok)`` or ``None``.
-
-    Basis entries ``>= n`` denote phase-1 artificial variables left basic at
-    value zero by a redundant row; their basis column is the corresponding
-    unit vector and the warm start is only accepted if they can stay at zero
-    (a non-zero value would mean the redundant row became inconsistent).
-
-    The basis is accepted when it is *either* primal feasible (non-negative
-    basic values -- e.g. after a pure right-hand-side relaxation, resume with
-    primal phase 2 directly) *or* dual feasible (non-negative reduced costs
-    -- the typical state after a branching bound change, repaired with dual
-    simplex iterations).  Both flags are returned so the caller picks the
-    right continuation.
-
-    Returns ``None`` when the basis matrix is singular, an artificial cannot
-    stay at zero, or the basis is neither primal nor dual feasible, in which
-    case the caller falls back to the two-phase method.
-    """
-    m, n = lp.A.shape
-    if n == 0:
-        return None
-    cols = warm_basis.columns
-    artificial = cols >= n
-    structural = ~artificial
-    B = np.zeros((m, m))
-    B[:, structural] = lp.A[:, cols[structural]]
-    if np.any(artificial):
-        B[cols[artificial] - n, np.flatnonzero(artificial)] = 1.0
-    try:
-        Binv_A = np.linalg.solve(B, lp.A)
-        xB = np.linalg.solve(B, lp.b)
-    except np.linalg.LinAlgError:
-        return None
-    if not np.all(np.isfinite(xB)):
-        return None
-    if np.any(np.abs(xB[artificial]) > _WARM_FEAS_TOL):
-        return None
-    xB[artificial] = 0.0
-    c_B = np.where(structural, lp.c[np.minimum(cols, n - 1)], 0.0)
-    cost_row = lp.c - c_B @ Binv_A
-    primal_ok = bool(np.all(xB >= -_WARM_FEAS_TOL))
-    dual_ok = bool(np.all(cost_row >= -_WARM_FEAS_TOL))
-    if not primal_ok and not dual_ok:
-        return None
-    if primal_ok:
-        xB = np.maximum(xB, 0.0)
-    tableau = np.empty((m + 1, n + 1))
-    tableau[:m, :n] = Binv_A
-    tableau[:m, -1] = xB
-    tableau[-1, :n] = np.maximum(cost_row, 0.0) if dual_ok else cost_row
-    tableau[-1, -1] = -float(c_B @ xB)
-    return tableau, [int(j) for j in cols], primal_ok, dual_ok
+def _reduced_costs(state: _State, costs: np.ndarray) -> np.ndarray:
+    y = state.factor.btran(costs[state.basis])
+    return costs[: state.lp.n] - state.lp.A.rmatvec(y)
 
 
-def _dual_simplex_iterations(
-    tableau: np.ndarray,
-    basis: List[int],
-    allowed_cols: int,
-    max_iter: int,
+def _dual_iterations(
+    state: _State, costs: np.ndarray, max_iter: int, d: Optional[np.ndarray] = None
 ) -> Tuple[str, int]:
-    """Restore primal feasibility of a dual-feasible tableau.
+    """Restore primal feasibility of a dual-feasible factorized basis.
 
     This is the node re-solve workhorse of warm-started branch and bound:
-    after a bound change the parent-optimal basis keeps non-negative reduced
-    costs but some basic values go negative.  Each iteration picks the most
-    negative basic value as the leaving row and the entering column by the
-    dual ratio test (ties broken on the smallest column index).
+    after a bound change the parent-optimal basis keeps sign-consistent
+    reduced costs but some basic values fall outside their bounds.  Each
+    iteration drops the most-violating basic variable onto its violated
+    bound and enters the column selected by the bounded dual ratio test.
 
-    Returns ``("feasible", iters)`` when every basic value is non-negative
-    again (the tableau is then primal optimal up to residual primal pivots),
-    ``("infeasible", iters)`` when a negative row has no negative entry
-    (proof of primal infeasibility), or ``("stalled", iters)`` when the
-    iteration budget runs out and the caller should fall back to a cold solve.
+    ``d`` seeds the non-basic reduced costs (the caller usually has them
+    already); they are then maintained *incrementally* -- one BTRAN and one
+    sparse row pass per pivot instead of a from-scratch pricing -- and
+    recomputed exactly at every refactorization to wash out drift.
+
+    Returns ``("feasible", iters)`` when every basic value is back inside
+    its bounds, ``("infeasible", iters)`` when a violated row admits no
+    entering column (proof of primal infeasibility), or ``("stalled",
+    iters)`` when the iteration budget runs out or a pivot is numerically
+    unusable, in which case the caller falls back to a cold solve.
     """
-    m = tableau.shape[0] - 1
-    basis_arr = np.asarray(basis)
+    lp = state.lp
+    A, m, n_cols = lp.A, lp.m, lp.n
+    movable = state.lower_ext[:n_cols] < state.upper_ext[:n_cols]
+    if d is None:
+        d = _reduced_costs(state, costs)
     iterations = 0
     while iterations < max_iter:
-        rhs = tableau[:m, -1]
-        leaving = int(np.argmin(rhs))
-        if rhs[leaving] >= -EPS:
+        if state.factor.needs_refactor():
+            state.refactor()
+            d = _reduced_costs(state, costs)
+        lB = state.lower_ext[state.basis]
+        uB = state.upper_ext[state.basis]
+        below = lB - state.xB
+        above = state.xB - uB
+        viol = np.maximum(below, above)
+        if m == 0 or viol.max() <= _WARM_FEAS_TOL:
             return "feasible", iterations
-        row = tableau[leaving, :allowed_cols]
-        candidates = np.flatnonzero(row < -EPS)
-        if candidates.size == 0:
+        r = int(np.argmax(viol))
+        below_case = below[r] >= above[r]
+
+        e_r = np.zeros(m)
+        e_r[r] = 1.0
+        rho = state.factor.btran(e_r)
+        alpha = A.rmatvec(rho)
+
+        at_low = state.vstat[:n_cols] == AT_LOWER
+        at_up = state.vstat[:n_cols] == AT_UPPER
+        if below_case:  # the leaving basic must increase back to its lower bound
+            eligible = movable & ((at_low & (alpha < -EPS)) | (at_up & (alpha > EPS)))
+        else:
+            eligible = movable & ((at_low & (alpha > EPS)) | (at_up & (alpha < -EPS)))
+        idx = np.flatnonzero(eligible)
+        if idx.size == 0:
             return "infeasible", iterations
-        ratios = tableau[-1, candidates] / (-row[candidates])
-        best = ratios.min()
-        ties = candidates[ratios <= best + EPS]
-        entering = int(ties[0])
-        _pivot(tableau, basis, leaving, entering)
-        basis_arr[leaving] = basis[leaving]
+        ratios = np.abs(d[idx]) / np.abs(alpha[idx])
+        ties = idx[ratios <= ratios.min() + EPS]
+        q = int(ties[0])
+
+        col = A.gather_col(q, np.zeros(m))
+        w = state.factor.ftran(col)
+        if abs(w[r]) < 1e-11:
+            return "stalled", iterations
+        target = lB[r] if below_case else uB[r]
+        t = (state.xB[r] - target) / w[r]
+        enter_from = state.lower_ext[q] if state.vstat[q] == AT_LOWER else state.upper_ext[q]
+        leaving = int(state.basis[r])
+        state.xB -= t * w
+        state.xB[r] = enter_from + t
+        state.vstat[leaving] = AT_LOWER if below_case else AT_UPPER
+        state.vstat[q] = BASIC
+        state.basis[r] = q
+        state.factor.update(r, w)
+        # Incremental dual-price update: d_j' = d_j - theta * alpha_j with
+        # theta = d_q / alpha_q; the entering column becomes basic (d = 0)
+        # and the leaving variable's price is exactly -theta.
+        theta = d[q] / alpha[q]
+        if theta != 0.0:
+            d -= theta * alpha
+        d[q] = 0.0
+        if leaving < n_cols:
+            d[leaving] = -theta
         iterations += 1
+        instr.add("dual_pivots")
     return "stalled", iterations
 
 
-def _solve_canonical(
-    lp: _CanonicalLP,
-    max_iter: int,
-    warm_basis: Optional[_Basis] = None,
+def _finish_primal(
+    state: _State, max_iter: int, dual_iters: int
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
-    """Two-phase simplex on a canonical LP, with optional warm start.
-
-    Returns ``(status, y, iterations, basis)`` where ``y`` is the canonical
-    solution vector and ``basis`` the final basis token when status is
-    ``"optimal"``.
-    """
-    m, n = lp.A.shape
-    if m == 0:
-        # No constraints: minimize over y >= 0, optimum is 0 for non-negative
-        # costs and unbounded otherwise.
-        if np.any(lp.c < -EPS):
-            return "unbounded", None, 0, None
-        return "optimal", np.zeros(n), 0, None
-
-    if _basis_compatible(warm_basis, lp):
-        warm = _warm_start_tableau(lp, warm_basis)
-        if warm is not None:
-            tableau, basis, primal_ok, dual_ok = warm
-            dual_iters = 0
-            proceed = True
-            if not primal_ok:
-                # Dual-feasible only: repair primal feasibility first.
-                dual_status, dual_iters = _dual_simplex_iterations(
-                    tableau, basis, allowed_cols=n, max_iter=max_iter
-                )
-                if dual_status == "infeasible":
-                    return "infeasible", None, dual_iters, None
-                proceed = dual_status == "feasible"
-            if proceed:
-                # Residual primal pivots: a no-op after a clean dual repair,
-                # the whole phase 2 when resuming from a primal-feasible basis.
-                status, iters = _simplex_iterations(
-                    tableau, basis, allowed_cols=n, max_iter=max_iter
-                )
-                total = dual_iters + iters
-                if status == "unbounded":
-                    return "unbounded", None, total, None
-                basis_arr = np.asarray(basis)
-                y = np.zeros(n)
-                in_cols = basis_arr < n
-                y[basis_arr[in_cols]] = tableau[:m, -1][in_cols]
-                return "optimal", y, total, _Basis(basis_arr, m, n)
-            # dual phase stalled: fall through to a cold two-phase solve.
-
-    # Phase 1: artificial variables form the initial basis.
-    tableau = np.zeros((m + 1, n + m + 1))
-    tableau[:m, :n] = lp.A
-    tableau[:m, n : n + m] = np.eye(m)
-    tableau[:m, -1] = lp.b
-    basis = list(range(n, n + m))
-    # Phase-1 objective: sum of artificials, expressed in reduced-cost form.
-    tableau[-1, :n] = -lp.A.sum(axis=0)
-    tableau[-1, -1] = -lp.b.sum()
-
-    status, iters1 = _simplex_iterations(tableau, basis, allowed_cols=n + m, max_iter=max_iter)
-    if status != "optimal":
-        raise SolverError("phase-1 simplex reported an unbounded auxiliary problem")
-    if tableau[-1, -1] < -1e-7:
-        return "infeasible", None, iters1, None
-
-    # Drive any artificial variable still in the basis out of it.
-    for i in range(m):
-        if basis[i] >= n:
-            structural = np.flatnonzero(np.abs(tableau[i, :n]) > EPS)
-            if structural.size:
-                _pivot(tableau, basis, i, int(structural[0]))
-            # If the row is all zeros over structural columns it is redundant
-            # and the artificial can stay at value zero harmlessly.
-
-    # Phase 2: restore the true objective as reduced costs.
-    tableau[-1, :] = 0.0
-    tableau[-1, :n] = lp.c
-    basis_arr = np.asarray(basis)
-    structural_rows = np.flatnonzero(basis_arr < n)
-    if structural_rows.size:
-        costly = structural_rows[np.abs(lp.c[basis_arr[structural_rows]]) > EPS]
-        if costly.size:
-            tableau[-1] -= lp.c[basis_arr[costly]] @ tableau[costly]
-    # Forbid artificial columns from re-entering.
-    tableau[-1, n : n + m] = math.inf
-
-    status, iters2 = _simplex_iterations(tableau, basis, allowed_cols=n, max_iter=max_iter)
-    total_iters = iters1 + iters2
+    """Run phase-2 primal pivots and package the result tuple."""
+    lp = state.lp
+    costs = np.concatenate((lp.c, np.zeros(lp.m)))
+    status, iters = _primal_iterations(state, costs, max_iter)
+    total = dual_iters + iters
     if status == "unbounded":
-        return "unbounded", None, total_iters, None
+        return "unbounded", None, total, None
+    token = _Basis(
+        basis=state.basis.copy(),
+        vstat=state.vstat.copy(),
+        art_sign=state.art_sign.copy(),
+        n_rows=lp.m,
+        n_cols=lp.n,
+        free_mask=lp.free_mask.copy(),
+        factor=state.factor,
+    )
+    return "optimal", state.solution_vector(), total, token
 
-    y = np.zeros(n)
-    basis_arr = np.asarray(basis)
-    in_cols = basis_arr < n
-    y[basis_arr[in_cols]] = tableau[:m, -1][in_cols]
-    # Entries >= n mark artificials pinned at zero on redundant rows; the
-    # warm-start path knows how to rebuild their basis columns.
-    return "optimal", y, total_iters, _Basis(basis_arr, m, n)
+
+def _cold_solve(
+    lp: _CanonicalLP, max_iter: int
+) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
+    """Two-phase solve from a crash basis of slacks and signed artificials."""
+    m, n_cols = lp.m, lp.n
+    n_exp = n_cols - lp.n_ub
+    lower_ext = np.concatenate((lp.lower, np.zeros(m)))
+    upper_ext = np.concatenate((lp.upper, np.full(m, math.inf)))
+    vstat = np.empty(n_cols + m, dtype=np.int8)
+    vstat[:n_cols] = np.where(np.isfinite(lp.lower), AT_LOWER, AT_UPPER)
+    vstat[n_cols:] = AT_LOWER
+
+    x0 = np.where(vstat[:n_cols] == AT_LOWER, lp.lower, lp.upper)
+    resid = lp.b - lp.A.matvec(x0)
+
+    # Crash basis: a slack whose row residual is non-negative can serve as
+    # the basic variable of its own row; only the remaining rows need a
+    # phase-1 artificial (with a unit column matching the residual's sign).
+    basis = np.empty(m, dtype=np.int64)
+    art_sign = np.ones(m)
+    use_slack = np.zeros(m, dtype=bool)
+    if lp.n_ub:
+        use_slack[: lp.n_ub] = resid[: lp.n_ub] >= 0.0
+    slack_rows = np.flatnonzero(use_slack)
+    art_rows = np.flatnonzero(~use_slack)
+    basis[slack_rows] = n_exp + slack_rows
+    basis[art_rows] = n_cols + art_rows
+    art_sign[art_rows] = np.where(resid[art_rows] >= 0.0, 1.0, -1.0)
+    vstat[basis] = BASIC
+
+    state = _State(lp, basis, vstat, art_sign, lower_ext, upper_ext)
+    state.factorize()
+    state.xB = resid.copy()
+    state.xB[art_rows] = np.abs(resid[art_rows])
+
+    phase1_iters = 0
+    if art_rows.size:
+        costs1 = np.concatenate((np.zeros(n_cols), np.ones(m)))
+        # Unused artificials must not be priced in: pin them immediately.
+        unused_arts = n_cols + slack_rows
+        upper_ext[unused_arts] = 0.0
+        status, phase1_iters = _primal_iterations(state, costs1, max_iter)
+        if status != "optimal":
+            raise SolverError("phase-1 simplex reported an unbounded auxiliary problem")
+        art_basic = state.basis >= n_cols
+        if float(np.abs(state.xB[art_basic]).sum()) > _PHASE1_TOL:
+            return "infeasible", None, phase1_iters, None
+        # Artificials still basic sit at ~0 on redundant rows; pin every
+        # artificial at zero so none can move again in phase 2.
+        upper_ext[n_cols:] = 0.0
+        state.xB[art_basic] = 0.0
+
+    return _finish_primal(state, max_iter, phase1_iters)
+
+
+def _warm_solve(
+    lp: _CanonicalLP, token: _Basis, max_iter: int
+) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
+    """Resume from a previous basis; ``None`` means fall back to a cold solve.
+
+    The basis is refactorized once and accepted when it is *either* primal
+    feasible under the current data (resume phase 2 directly) *or* dual
+    feasible (the typical state after a branching bound change, repaired
+    with bounded dual simplex pivots).
+    """
+    m, n_cols = lp.m, lp.n
+    basis = token.basis.copy()
+    vstat = token.vstat.copy()
+    art_sign = token.art_sign.copy()
+    lower_ext = np.concatenate((lp.lower, np.zeros(m)))
+    upper_ext = np.concatenate((lp.upper, np.zeros(m)))  # artificials stay pinned
+
+    # A non-basic status pointing at a bound that is now infinite (possible
+    # after a session-level bound relaxation) is re-homed to the opposite
+    # finite bound, or rejected when there is none.
+    st = vstat[:n_cols]
+    bad_low = (st == AT_LOWER) & np.isneginf(lp.lower)
+    bad_up = (st == AT_UPPER) & np.isposinf(lp.upper)
+    if np.any(bad_low & ~np.isfinite(lp.upper)) or np.any(bad_up & ~np.isfinite(lp.lower)):
+        return None
+    st[bad_low] = AT_UPPER
+    st[bad_up] = AT_LOWER
+
+    state = _State(lp, basis, vstat, art_sign, lower_ext, upper_ext)
+    if (
+        token.factor is not None
+        and token.factor.stamp == lp.stamp
+        and not token.factor.needs_refactor()
+    ):
+        # Resume on the parent's factorization: shared LU base, private
+        # eta file.  The residual check below still guards against drift
+        # accumulated across warm-start generations.
+        state.factor = token.factor.clone()
+    else:
+        try:
+            state.factorize()
+        except _SingularBasis:
+            return None
+    state.compute_xB()
+    if not np.all(np.isfinite(state.xB)):
+        return None
+
+    # Verify the refactorized basis actually reproduces the constraints
+    # (guards against a numerically garbage factorization).
+    x_full = state.nonbasic_values()
+    x_full[basis] = state.xB
+    gap = lp.b - lp.A.matvec(x_full[:n_cols])
+    art_basic = np.flatnonzero(basis >= n_cols)
+    if art_basic.size:
+        art_rows = basis[art_basic] - n_cols
+        gap[art_rows] -= art_sign[art_rows] * state.xB[art_basic]
+        if np.max(np.abs(state.xB[art_basic])) > _WARM_FEAS_TOL:
+            return None
+        state.xB[art_basic] = 0.0
+    scale = 1.0 + (np.max(np.abs(lp.b)) if m else 0.0)
+    if m and np.max(np.abs(gap)) > 1e-6 * scale:
+        return None
+
+    costs = np.concatenate((lp.c, np.zeros(m)))
+    y = state.factor.btran(costs[basis])
+    d = lp.c - lp.A.rmatvec(y)
+    movable = lp.lower < lp.upper
+    dual_bad = movable & (
+        ((st == AT_LOWER) & (d < -_WARM_FEAS_TOL))
+        | ((st == AT_UPPER) & (d > _WARM_FEAS_TOL))
+    )
+    dual_ok = not np.any(dual_bad)
+    lB = lower_ext[basis]
+    uB = upper_ext[basis]
+    primal_ok = bool(np.all(state.xB >= lB - _WARM_FEAS_TOL) and np.all(state.xB <= uB + _WARM_FEAS_TOL))
+    if primal_ok:
+        np.clip(state.xB, lB, uB, out=state.xB)
+        return _finish_primal(state, max_iter, 0)
+    if not dual_ok:
+        return None
+    dual_status, dual_iters = _dual_iterations(state, costs, max_iter, d=d)
+    if dual_status == "infeasible":
+        return "infeasible", None, dual_iters, None
+    if dual_status != "feasible":
+        return None  # stalled: cold two-phase fallback
+    return _finish_primal(state, max_iter, dual_iters)
 
 
 def _solution_from_canonical(
@@ -477,20 +819,47 @@ def _solution_from_canonical(
 
 
 class SimplexSolver:
-    """Reusable simplex session over one :class:`StandardForm`.
+    """Reusable sparse revised simplex session over one :class:`StandardForm`.
 
     Branch and bound (and :class:`repro.optim.backend.SolverSession`) solve
     many LPs that share the constraint matrix and differ only in variable
-    bounds or right-hand sides.  This class canonicalizes per solve with
-    vectorized kernels (cheap: a handful of matrix products) and, more
-    importantly, accepts a warm-start basis from a previous solve: when the
-    parent basis is still primal feasible after a bound change, phase 1 is
-    skipped entirely.
+    bounds or right-hand sides.  This class canonicalizes the *structure*
+    exactly once (columns, splits, slacks, sparsity pattern); subsequent
+    solves patch only bound values, the right-hand side and the costs into
+    the shared canonical arrays, then warm-start from a previously optimal
+    basis whenever one is supplied.
     """
 
     def __init__(self, form: StandardForm, max_iter: int = 100_000) -> None:
         self.form = form
         self.max_iter = max_iter
+        self._lp: Optional[_CanonicalLP] = None
+
+    def refresh(self) -> None:
+        """Force a full re-lowering on the next solve.
+
+        :class:`repro.optim.backend.SolverSession` calls this after patching
+        *coefficients* of the form's sparse matrices (bounds, right-hand
+        sides and objective coefficients are re-read on every solve and do
+        not need it).
+        """
+        self._lp = None
+
+    def _ensure_canonical(self, lb: np.ndarray, ub: np.ndarray) -> _CanonicalLP:
+        free = np.isneginf(lb) & np.isposinf(ub)
+        lp = self._lp
+        if lp is None or not np.array_equal(free, lp.free_mask):
+            self._lp = lp = _canonicalize(self.form, lb=lb, ub=ub)
+            return lp
+        # Same structure: patch the numeric data in place (O(n + m)).
+        lp.set_bounds(lb, ub)
+        m_ub = lp.n_ub
+        lp.b[:m_ub] = self.form.b_ub
+        lp.b[m_ub:] = self.form.b_eq
+        lp.c[lp.plus_index] = self.form.c
+        if lp.free_mask.any():
+            lp.c[lp.minus_index[lp.free_mask]] = -self.form.c[lp.free_mask]
+        return lp
 
     def solve(
         self,
@@ -503,8 +872,8 @@ class SimplexSolver:
 
         The returned basis token can be handed back as ``warm_basis`` on a
         later solve (typically of a child branch-and-bound node); it is
-        ignored automatically when the canonical shape changed, e.g. when a
-        previously infinite bound became finite.
+        ignored automatically when the canonical structure changed, e.g.
+        when a previously free variable gained a finite bound.
 
         ``max_iter`` bounds each simplex phase separately (dual repair,
         residual primal, and -- if the warm start stalls -- the cold
@@ -512,11 +881,25 @@ class SimplexSolver:
         multiple of it; treat it as a convergence safety net, not an exact
         work budget.
         """
-        lp = _canonicalize(self.form, lb=lb, ub=ub)
-        status, y, iterations, basis = _solve_canonical(
-            lp, max_iter=self.max_iter if max_iter is None else max_iter, warm_basis=warm_basis
-        )
-        return _solution_from_canonical(self.form, lp, status, y, iterations), basis
+        lb = self.form.lb if lb is None else np.asarray(lb, dtype=float)
+        ub = self.form.ub if ub is None else np.asarray(ub, dtype=float)
+        limit = self.max_iter if max_iter is None else max_iter
+        lp = self._ensure_canonical(lb, ub)
+
+        result = None
+        if _basis_compatible(warm_basis, lp):
+            try:
+                result = _warm_solve(lp, warm_basis, limit)
+            except _SingularBasis:
+                result = None
+        if result is None:
+            try:
+                result = _cold_solve(lp, limit)
+            except _SingularBasis as exc:  # pragma: no cover - numerical edge
+                raise SolverError(f"basis became numerically singular: {exc}") from None
+        status, y, iterations, token = result
+        instr.add("lp_solves")
+        return _solution_from_canonical(self.form, lp, status, y, iterations), token
 
 
 def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:
@@ -525,6 +908,5 @@ def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution
     Integrality markers are ignored; use
     :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
     """
-    lp = _canonicalize(form)
-    status, y, iterations, _ = _solve_canonical(lp, max_iter=max_iter)
-    return _solution_from_canonical(form, lp, status, y, iterations)
+    solution, _ = SimplexSolver(form, max_iter=max_iter).solve()
+    return solution

@@ -1,0 +1,232 @@
+"""Minimal compressed-sparse-column matrices for the optimization stack.
+
+The placement LPs lowered from the paper's models are >95% zeros, so the
+solver stack stores constraint matrices in CSC form: ``indptr`` (length
+``n_cols + 1``), ``indices`` (row index of every stored entry, sorted within
+each column) and ``data`` (the values).  The class below implements exactly
+the kernel set the sparse revised simplex and the backends need -- column
+gather, ``A @ x`` / ``A.T @ y`` products as whole-array numpy operations,
+in-place entry updates for :class:`repro.optim.backend.SolverSession`, and
+conversions to dense numpy / SciPy sparse for interop -- without depending
+on SciPy itself (the in-house solvers must run on a numpy-only install).
+
+Explicit zeros are *kept*: an entry stored with value ``0.0`` stays part of
+the pattern, which is what lets a session patch a coefficient that happens
+to be zero in the current data (e.g. a zero-volume route) without a
+structural rebuild.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SparseMatrix", "as_dense", "as_spec", "is_sparse"]
+
+
+class SparseMatrix:
+    """An immutable-shape CSC matrix over float64 data.
+
+    Construct through :meth:`from_coo` / :meth:`from_dense`; the raw
+    constructor trusts its arguments (sorted row indices per column, no
+    duplicates).
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data", "_col_ids", "_rmv_cache")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=float)
+        self._col_ids: Optional[np.ndarray] = None  # lazy, for matvec
+        self._rmv_cache = None  # lazy (nonempty cols, segment starts), for rmatvec
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        vals: Sequence[float],
+        shape: Tuple[int, int],
+    ) -> "SparseMatrix":
+        """Build from triplets; duplicate (row, col) entries are summed."""
+        n_rows, n_cols = shape
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=float)
+        if rows.size:
+            # Sort by (col, row), then merge duplicates with a segment sum.
+            order = np.lexsort((rows, cols))
+            rows, cols, vals = rows[order], cols[order], vals[order]
+            new_seg = np.empty(rows.size, dtype=bool)
+            new_seg[0] = True
+            new_seg[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            starts = np.flatnonzero(new_seg)
+            vals = np.add.reduceat(vals, starts)
+            rows, cols = rows[starts], cols[starts]
+        counts = np.bincount(cols, minlength=n_cols)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return cls((n_rows, n_cols), indptr, rows, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseMatrix":
+        dense = np.asarray(dense, dtype=float)
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, int]) -> "SparseMatrix":
+        return cls(shape, np.zeros(shape[1] + 1, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
+
+    # -- ndarray-compatible introspection ---------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of cells (dense semantics, mirrors ``ndarray.size``)."""
+        return self.shape[0] * self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (explicit zeros included)."""
+        return int(self.data.size)
+
+    # -- kernels -----------------------------------------------------------
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of column ``j`` (views, do not mutate)."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def gather_col(self, j: int, out: np.ndarray) -> np.ndarray:
+        """Scatter column ``j`` into the pre-zeroed dense vector ``out``."""
+        idx, val = self.col(j)
+        out[idx] = val
+        return out
+
+    def _column_ids(self) -> np.ndarray:
+        if self._col_ids is None or self._col_ids.size != self.indices.size:
+            self._col_ids = np.repeat(
+                np.arange(self.shape[1], dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._col_ids
+
+    def col_ids(self) -> np.ndarray:
+        """Column index of every stored entry (parallel to ``indices``/``data``)."""
+        return self._column_ids()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense ``A @ x`` (bincount-based scatter-add)."""
+        if not self.data.size:
+            return np.zeros(self.shape[0])
+        return np.bincount(
+            self.indices, weights=self.data * x[self._column_ids()], minlength=self.shape[0]
+        )
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Dense ``A.T @ y`` via a per-column segment sum (vectorized)."""
+        out = np.zeros(self.shape[1])
+        if self.data.size:
+            if self._rmv_cache is None:
+                nonempty = np.flatnonzero(np.diff(self.indptr) > 0)
+                # reduceat over only the non-empty column starts: consecutive
+                # starts then delimit exactly one column's entries each (empty
+                # columns contribute no data in between).
+                self._rmv_cache = (nonempty, self.indptr[nonempty])
+            nonempty, starts = self._rmv_cache
+            prods = self.data * y[self.indices]
+            out[nonempty] = np.add.reduceat(prods, starts)
+        return out
+
+    # -- updates -----------------------------------------------------------
+    def get(self, row: int, col: int) -> float:
+        lo, hi = self.indptr[col], self.indptr[col + 1]
+        pos = np.searchsorted(self.indices[lo:hi], row)
+        if pos < hi - lo and self.indices[lo + pos] == row:
+            return float(self.data[lo + pos])
+        return 0.0
+
+    def set(self, row: int, col: int, value: float) -> bool:
+        """Set entry ``(row, col)``; returns True when the pattern grew.
+
+        Updating an existing entry (explicit zeros included) is O(log nnz);
+        inserting a brand-new entry is O(nnz) and reported to the caller so
+        dependent structures (e.g. a canonicalized solver) can rebuild.
+        """
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            raise IndexError(f"index ({row}, {col}) out of range for shape {self.shape}")
+        lo, hi = int(self.indptr[col]), int(self.indptr[col + 1])
+        pos = lo + int(np.searchsorted(self.indices[lo:hi], row))
+        if pos < hi and self.indices[pos] == row:
+            self.data[pos] = float(value)
+            return False
+        self.indices = np.insert(self.indices, pos, row)
+        self.data = np.insert(self.data, pos, float(value))
+        self.indptr = self.indptr.copy()
+        self.indptr[col + 1 :] += 1
+        self._col_ids = None
+        self._rmv_cache = None
+        return True
+
+    def __setitem__(self, key: Tuple[int, int], value: float) -> None:
+        self.set(int(key[0]), int(key[1]), float(value))
+
+    def __getitem__(self, key: Tuple[int, int]) -> float:
+        return self.get(int(key[0]), int(key[1]))
+
+    # -- conversions -------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        if self.data.size:
+            out[self.indices, self._column_ids()] = self.data
+        return out
+
+    def to_scipy(self):
+        """Return a ``scipy.sparse.csc_matrix`` view of this matrix."""
+        from scipy.sparse import csc_matrix
+
+        return csc_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def copy(self) -> "SparseMatrix":
+        return SparseMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+MatrixLike = Union[np.ndarray, SparseMatrix]
+
+
+def is_sparse(matrix: MatrixLike) -> bool:
+    return isinstance(matrix, SparseMatrix)
+
+
+def as_dense(matrix: MatrixLike) -> np.ndarray:
+    """Dense numpy view of a dense-or-sparse matrix."""
+    if isinstance(matrix, SparseMatrix):
+        return matrix.to_dense()
+    return np.asarray(matrix, dtype=float)
+
+
+def matvec(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
+    """``matrix @ x`` for a dense-or-sparse matrix."""
+    if isinstance(matrix, SparseMatrix):
+        return matrix.matvec(x)
+    return matrix @ x
+
+
+def as_spec(matrix: MatrixLike):
+    """Whatever SciPy's ``linprog`` / ``LinearConstraint`` accept directly."""
+    if isinstance(matrix, SparseMatrix):
+        return matrix.to_scipy()
+    return matrix

@@ -27,6 +27,7 @@ This package implements Sections 4 and 5 of the paper:
 from repro.passive.problem import PPMProblem, PlacementResult
 from repro.passive.greedy import solve_greedy
 from repro.passive.ilp import (
+    PPMSession,
     expected_gain,
     solve_arc_path_ilp,
     solve_budget_limited,
@@ -50,6 +51,7 @@ __all__ = [
     "DynamicMonitoringController",
     "LinkCostModel",
     "PPMProblem",
+    "PPMSession",
     "PlacementResult",
     "SamplingPlacement",
     "SamplingProblem",

@@ -14,11 +14,20 @@ The compact formulation "also allows to compute an incremental solution"
 (fix the already-installed devices and optimize only the rest) and, "with
 only a slight modification", the best positioning of a *limited number* of
 devices.  All those variants are implemented here.
+
+The compact model is built exactly once per problem by :class:`PPMSession`
+and lowered through the sparse path; the incremental / budget-limited
+variants (``fixed_links``, ``max_devices``) are expressed as in-place bound,
+objective-coefficient and right-hand-side patches against the lowered
+matrices of a shared :class:`repro.optim.SolverSession` -- re-solving a
+placement with a different set of installed devices never re-lowers the
+model.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+import weakref
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.flows.mecf import solve_mecf_exact
 from repro.optim import Model, lin_sum
@@ -39,6 +48,165 @@ def _link_traffic_incidence(problem: PPMProblem) -> Dict[LinkKey, List[Hashable]
 
 def _normalize_links(links: Iterable[LinkKey]) -> List[LinkKey]:
     return [link_key(*l) for l in links]
+
+
+def _problem_signature(problem: PPMProblem) -> Tuple:
+    """Everything of a :class:`PPMProblem` the compact model depends on.
+
+    ``PPMProblem`` is a plain mutable object; the per-problem session cache
+    keys on this signature so a caller that mutates ``coverage``,
+    ``candidate_links`` or the traffic between calls gets a fresh lowering
+    instead of a silently stale cached model.
+    """
+    return (
+        problem.coverage,
+        tuple(problem.candidate_links),
+        tuple(
+            (t.traffic_id, tuple((tuple(r.nodes), r.volume) for r in t.routes))
+            for t in problem.traffic
+        ),
+    )
+
+
+def _add_compact_core(model: Model, problem: PPMProblem) -> Tuple[Dict, Dict]:
+    """Shared core of the compact formulation (Linear program 2).
+
+    Adds the binary ``x_e`` per candidate link, the monitored fraction
+    ``δ_t`` per traffic and the per-traffic monitor constraints
+    (``sum_{e in p_t} x_e >= δ_t``); returns ``(x, delta)``.  Both
+    :class:`PPMSession` and :func:`solve_max_coverage` build on this.
+    """
+    links = problem.candidate_links
+    x = {link: model.add_var(f"x[{i}]", vartype="binary") for i, link in enumerate(links)}
+    traffics = list(problem.traffic)
+    delta = {
+        t.traffic_id: model.add_var(f"delta[{j}]", lb=0.0, ub=1.0)
+        for j, t in enumerate(traffics)
+    }
+    candidate_set = set(links)
+    for traffic in traffics:
+        crossing = [l for l in traffic.links if l in candidate_set]
+        if crossing:
+            model.add_constr(
+                lin_sum(x[l] for l in crossing) >= delta[traffic.traffic_id],
+                name=f"monitor[{traffic.traffic_id}]",
+            )
+        else:
+            model.add_constr(
+                delta[traffic.traffic_id] <= 0, name=f"monitor[{traffic.traffic_id}]"
+            )
+    return x, delta
+
+
+class PPMSession:
+    """Reusable PPM(k) compact-formulation session (Linear program 2).
+
+    The model -- binary ``x_e`` per candidate link, monitored fraction
+    ``δ_t`` per traffic, the per-traffic monitor constraints, the global
+    coverage constraint and an (initially non-binding) device-budget row --
+    is built and lowered exactly *once*.  Every placement variant the paper
+    derives from the compact formulation is then a data patch against the
+    lowered sparse matrices:
+
+    * **incremental** (Section 4.3): fix ``x_e = 1`` for installed devices
+      via bound patches and zero their objective coefficients (installed
+      devices are sunk costs);
+    * **budget-limited**: patch the right-hand side of the ``budget`` row.
+
+    Re-solving with a different installed set therefore costs bound /
+    objective / rhs updates plus the MILP solve itself, never a re-lowering.
+    """
+
+    def __init__(self, problem: PPMProblem, backend: str = "auto", **solver_options) -> None:
+        self.problem = problem
+        self.links = problem.candidate_links
+        model = Model("ppm-lp2", sense="min")
+        self._x, delta = _add_compact_core(model, problem)
+        model.add_constr(
+            lin_sum(t.volume * delta[t.traffic_id] for t in problem.traffic)
+            >= problem.required_volume,
+            name="coverage",
+        )
+        # Non-binding until a solve patches its right-hand side down.
+        model.add_constr(lin_sum(self._x.values()) <= len(self.links), name="budget")
+        model.set_objective(lin_sum(self._x.values()))
+        self.model = model
+        self._session = model.session(backend=backend, **solver_options)
+
+    @property
+    def solves(self) -> int:
+        """Number of solves performed through the shared lowered model."""
+        return self._session.solves
+
+    def solve(
+        self,
+        fixed_links: Iterable[LinkKey] = (),
+        max_devices: Optional[int] = None,
+    ) -> PlacementResult:
+        """Re-solve the placement under the given incremental variant.
+
+        Raises
+        ------
+        InfeasibleError
+            When the coverage target cannot be met, possibly because of the
+            device cap.
+        ValueError
+            When ``fixed_links`` contains non-candidate links.
+        """
+        fixed = set(_normalize_links(fixed_links))
+        unknown_fixed = fixed - set(self.links)
+        if unknown_fixed:
+            raise ValueError(
+                f"fixed links are not candidate links: {sorted(map(str, unknown_fixed))}"
+            )
+        if max_devices is not None and max_devices < len(fixed):
+            raise InfeasibleError(
+                f"max_devices={max_devices} is below the {len(fixed)} already-installed devices"
+            )
+        session = self._session
+        for link, var in self._x.items():
+            installed = link in fixed
+            # Already-installed devices are constants equal to 1 in the
+            # paper's incremental variant and are not paid for again.
+            session.update_var_bounds(var, lb=1.0 if installed else 0.0, ub=1.0)
+            session.update_objective_coeff(var, 0.0 if installed else 1.0)
+        session.update_constraint_rhs(
+            "budget", len(self.links) if max_devices is None else max_devices
+        )
+        solution = session.solve(raise_on_infeasible=True)
+        selected = [l for l in self.links if solution.value(self._x[l].name) > 0.5]
+        return self.problem.make_result(
+            selected,
+            method="ilp",
+            objective=len(selected),
+            fixed_links=fixed,
+        )
+
+
+#: Per-problem cache of lowered PPM sessions, keyed by backend and options,
+#: so repeated incremental solves (``solve_incremental``, ``expected_gain``)
+#: against one problem reuse the same lowered matrices.  Each entry carries
+#: the problem-data signature it was lowered from; a mutated problem (new
+#: coverage, links or traffic) invalidates the entry instead of serving a
+#: stale model.
+_ppm_sessions: "weakref.WeakKeyDictionary[PPMProblem, Dict[tuple, Tuple[tuple, PPMSession]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _ppm_session(problem: PPMProblem, backend: str, options: Mapping[str, object]) -> PPMSession:
+    from repro.optim.backend import _resolve_backend
+
+    # Key by the *resolved* backend: "auto" resolves at session construction,
+    # so a cached session must not outlive a change in backend availability.
+    resolved = _resolve_backend(backend, is_mip=True)
+    key = (resolved, tuple(sorted(options.items())))
+    signature = _problem_signature(problem)
+    per_problem = _ppm_sessions.setdefault(problem, {})
+    entry = per_problem.get(key)
+    if entry is None or entry[0] != signature:
+        entry = per_problem[key] = (signature, PPMSession(problem, backend=resolved, **options))
+    return entry[1]
 
 
 def solve_ilp(
@@ -66,64 +234,19 @@ def solve_ilp(
         Extra options forwarded to the solver backend, e.g. ``time_limit`` or
         ``mip_gap`` for the large partial-coverage instances of Figure 8.
 
+    The model is lowered once per (problem, backend, options) and cached, so
+    successive calls with different ``fixed_links`` / ``max_devices`` --
+    the paper's incremental placement workflow -- are in-place re-solves
+    through a shared :class:`PPMSession`.
+
     Raises
     ------
     InfeasibleError
         When the coverage target cannot be met, possibly because of the
         device cap.
     """
-    fixed = set(_normalize_links(fixed_links))
-    unknown_fixed = fixed - set(problem.candidate_links)
-    if unknown_fixed:
-        raise ValueError(f"fixed links are not candidate links: {sorted(map(str, unknown_fixed))}")
-
-    model = Model("ppm-lp2", sense="min")
-    links = problem.candidate_links
-    traffics = list(problem.traffic)
-
-    x = {}
-    for i, link in enumerate(links):
-        if link in fixed:
-            # Already-installed devices are constants equal to 1 in the paper's
-            # incremental variant; model them as fixed binaries.
-            x[link] = model.add_var(f"x[{i}]", lb=1.0, ub=1.0, vartype="binary")
-        else:
-            x[link] = model.add_var(f"x[{i}]", vartype="binary")
-    delta = {t.traffic_id: model.add_var(f"delta[{j}]", lb=0.0, ub=1.0) for j, t in enumerate(traffics)}
-
-    candidate_set = set(links)
-    for traffic in traffics:
-        crossing = [l for l in traffic.links if l in candidate_set]
-        if crossing:
-            model.add_constr(
-                lin_sum(x[l] for l in crossing) >= delta[traffic.traffic_id],
-                name=f"monitor[{traffic.traffic_id}]",
-            )
-        else:
-            model.add_constr(delta[traffic.traffic_id] <= 0, name=f"monitor[{traffic.traffic_id}]")
-
-    model.add_constr(
-        lin_sum(t.volume * delta[t.traffic_id] for t in traffics) >= problem.required_volume,
-        name="coverage",
-    )
-    if max_devices is not None:
-        if max_devices < len(fixed):
-            raise InfeasibleError(
-                f"max_devices={max_devices} is below the {len(fixed)} already-installed devices"
-            )
-        model.add_constr(lin_sum(x[l] for l in links) <= max_devices, name="budget")
-
-    # Fixed devices contribute a constant to the objective; leaving them out
-    # matches the incremental reading, adding them only shifts the optimum.
-    model.set_objective(lin_sum(x[l] for l in links if l not in fixed))
-    solution = model.solve(backend=backend, raise_on_infeasible=True, **solver_options)
-
-    selected = [l for l in links if solution.value(x[l].name) > 0.5]
-    return problem.make_result(
-        selected,
-        method="ilp",
-        objective=len(selected),
-        fixed_links=fixed,
+    return _ppm_session(problem, backend, solver_options).solve(
+        fixed_links=fixed_links, max_devices=max_devices
     )
 
 
@@ -147,6 +270,9 @@ def solve_incremental(
 
     The devices in ``existing_links`` cannot move; the solver only decides
     where to put the additional ones (Section 4.3, incremental solution).
+    Successive calls on the same problem (e.g. a growing deployment) reuse
+    one lowered :class:`PPMSession` and only patch bounds and objective
+    coefficients between solves.
     """
     return solve_ilp(problem, backend=backend, fixed_links=existing_links)
 
@@ -191,25 +317,11 @@ def solve_max_coverage(
 
     model = Model("ppm-max-coverage", sense="max")
     links = problem.candidate_links
-    traffics = list(problem.traffic)
-    x = {}
-    for i, link in enumerate(links):
-        lb = 1.0 if link in fixed else 0.0
-        x[link] = model.add_var(f"x[{i}]", lb=lb, ub=1.0, vartype="binary")
-    delta = {t.traffic_id: model.add_var(f"delta[{j}]", lb=0.0, ub=1.0) for j, t in enumerate(traffics)}
-
-    candidate_set = set(links)
-    for traffic in traffics:
-        crossing = [l for l in traffic.links if l in candidate_set]
-        if crossing:
-            model.add_constr(
-                lin_sum(x[l] for l in crossing) >= delta[traffic.traffic_id],
-                name=f"monitor[{traffic.traffic_id}]",
-            )
-        else:
-            model.add_constr(delta[traffic.traffic_id] <= 0, name=f"monitor[{traffic.traffic_id}]")
+    x, delta = _add_compact_core(model, problem)
+    for link in fixed:
+        x[link].lb = 1.0  # already-installed devices cannot move
     model.add_constr(lin_sum(x[l] for l in links) <= max_devices, name="budget")
-    model.set_objective(lin_sum(t.volume * delta[t.traffic_id] for t in traffics))
+    model.set_objective(lin_sum(t.volume * delta[t.traffic_id] for t in problem.traffic))
     solution = model.solve(backend=backend, raise_on_infeasible=True)
 
     selected = [l for l in links if solution.value(x[l].name) > 0.5]

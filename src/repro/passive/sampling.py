@@ -271,11 +271,14 @@ class PPMESession:
 
     The Section 5.4 controller re-solves the *same* LP structure at every
     trigger: device positions are frozen, path sets are unchanged, only the
-    route volumes move.  This class builds Linear program 3 once, keeps a
+    route volumes move.  This class builds Linear program 3 once (lowered to
+    sparse CSC matrices by the default lowering), keeps a
     :class:`repro.optim.SolverSession` over it, and on each
     :meth:`reoptimize` call patches only the volume-dependent data -- the
     coefficients and right-hand sides of the per-traffic and global coverage
-    constraints -- before re-solving (warm-started on the in-house simplex).
+    constraints, updated in place inside the sparse arrays -- before
+    re-solving (warm-started from the previous factorized basis on the
+    in-house revised simplex).
 
     If the traffic *structure* changes (new traffics or re-routed paths) the
     model is transparently rebuilt from scratch.

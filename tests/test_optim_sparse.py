@@ -1,0 +1,321 @@
+"""Tests for the sparse lowering, CSC kernels and factorized-basis machinery.
+
+Three layers are covered:
+
+* :class:`repro.optim.sparse.SparseMatrix` kernel correctness against dense
+  numpy references;
+* property-style equivalence of the sparse and dense lowerings of randomized
+  models (``to_standard_form(sparse=True)`` vs ``sparse=False`` must produce
+  the same ``A`` / ``b`` / ``c`` / bounds / integrality / row map);
+* the revised simplex's factorized basis: eta-file solves against explicit
+  dense references, refactorization after long eta chains, and the
+  one-canonicalization-per-MILP-solve contract of branch and bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim import Model, lin_sum
+from repro.optim import instrumentation as instr
+from repro.optim.simplex import (
+    SimplexSolver,
+    _REFACTOR_INTERVAL,
+    _BasisFactor,
+    _canonicalize,
+)
+from repro.optim.sparse import SparseMatrix, as_dense
+
+
+class TestSparseMatrix:
+    def test_from_coo_sorts_and_sums_duplicates(self):
+        A = SparseMatrix.from_coo([1, 0, 1], [0, 1, 0], [2.0, 3.0, 4.0], (2, 2))
+        assert A.nnz == 2
+        assert A.get(1, 0) == pytest.approx(6.0)
+        assert A.get(0, 1) == pytest.approx(3.0)
+        np.testing.assert_allclose(A.to_dense(), [[0.0, 3.0], [6.0, 0.0]])
+
+    def test_explicit_zeros_are_kept_in_the_pattern(self):
+        A = SparseMatrix.from_coo([0], [0], [0.0], (1, 2))
+        assert A.nnz == 1
+        assert not A.set(0, 0, 5.0)  # value update, no structural growth
+        assert A.get(0, 0) == pytest.approx(5.0)
+
+    def test_set_reports_fill_in(self):
+        A = SparseMatrix.from_coo([0], [0], [1.0], (2, 2))
+        assert A.set(1, 1, 2.0)  # brand-new entry grows the pattern
+        assert A.nnz == 2
+        np.testing.assert_allclose(A.to_dense(), [[1.0, 0.0], [0.0, 2.0]])
+
+    def test_matvec_and_rmatvec_match_dense(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            m, n = rng.integers(1, 9, size=2)
+            dense = rng.random((m, n)) * (rng.random((m, n)) < 0.4)
+            A = SparseMatrix.from_dense(dense)
+            x = rng.standard_normal(n)
+            y = rng.standard_normal(m)
+            np.testing.assert_allclose(A.matvec(x), dense @ x, atol=1e-12)
+            np.testing.assert_allclose(A.rmatvec(y), dense.T @ y, atol=1e-12)
+
+    def test_rmatvec_cache_survives_value_updates_not_fill_in(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        A = SparseMatrix.from_dense(dense)
+        y = np.array([3.0, 4.0])
+        np.testing.assert_allclose(A.rmatvec(y), dense.T @ y)
+        A.set(0, 0, 7.0)  # in-place value update
+        np.testing.assert_allclose(A.rmatvec(y), [21.0, 8.0])
+        A.set(1, 0, 5.0)  # fill-in invalidates the cached segment structure
+        np.testing.assert_allclose(A.rmatvec(y), [41.0, 8.0])
+
+    def test_gather_col_and_getitem(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        A = SparseMatrix.from_dense(dense)
+        out = A.gather_col(2, np.zeros(2))
+        np.testing.assert_allclose(out, [2.0, 0.0])
+        assert A[1, 1] == pytest.approx(3.0)
+        assert A[0, 1] == 0.0
+        with pytest.raises(IndexError):
+            A.set(5, 0, 1.0)
+
+    def test_scipy_round_trip(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        dense = np.array([[0.0, 1.5], [2.5, 0.0]])
+        A = SparseMatrix.from_dense(dense)
+        np.testing.assert_allclose(A.to_scipy().toarray(), dense)
+
+
+def _random_model(rng: np.random.Generator) -> Model:
+    """A random LP/MILP exercising every variable class and constraint sense."""
+    n = int(rng.integers(2, 8))
+    n_rows = int(rng.integers(1, 7))
+    model = Model("prop", sense="max" if rng.random() < 0.5 else "min")
+    xs = []
+    for i in range(n):
+        kind = int(rng.integers(0, 5))
+        if kind == 0:
+            xs.append(model.add_var(f"x{i}", lb=-np.inf))
+        elif kind == 1:
+            xs.append(model.add_var(f"x{i}", lb=float(rng.uniform(-4, 1))))
+        elif kind == 2:
+            lo = float(rng.uniform(-3, 1))
+            xs.append(model.add_var(f"x{i}", lb=lo, ub=lo + float(rng.uniform(0.5, 5))))
+        elif kind == 3:
+            xs.append(model.add_var(f"x{i}", vartype="binary"))
+        else:
+            xs.append(model.add_var(f"x{i}", lb=0.0, ub=float(rng.uniform(1, 6))))
+    for row in range(n_rows):
+        coeffs = rng.uniform(-2, 2, size=n)
+        coeffs[rng.random(n) < 0.4] = 0.0
+        expr = lin_sum(float(c) * x for c, x in zip(coeffs, xs))
+        rhs = float(rng.uniform(-4, 4))
+        sense = int(rng.integers(0, 3))
+        if sense == 0:
+            model.add_constr(expr <= rhs, name=f"c{row}")
+        elif sense == 1:
+            model.add_constr(expr >= rhs, name=f"c{row}")
+        else:
+            model.add_constr(expr == rhs, name=f"c{row}")
+    model.set_objective(lin_sum(float(c) * x for c, x in zip(rng.uniform(-2, 2, size=n), xs)))
+    return model
+
+
+class TestLoweringEquivalence:
+    """Property: sparse lowering == dense lowering on randomized models."""
+
+    def test_sparse_and_dense_lowerings_agree(self):
+        rng = np.random.default_rng(20260729)
+        for _ in range(60):
+            model = _random_model(rng)
+            sp = model.to_standard_form(sparse=True)
+            dn = model.to_standard_form(sparse=False)
+            assert isinstance(sp.A_ub, SparseMatrix)
+            assert isinstance(dn.A_ub, np.ndarray)
+            assert sp.A_ub.shape == dn.A_ub.shape
+            assert sp.A_eq.shape == dn.A_eq.shape
+            np.testing.assert_allclose(as_dense(sp.A_ub), dn.A_ub, atol=0)
+            np.testing.assert_allclose(as_dense(sp.A_eq), dn.A_eq, atol=0)
+            np.testing.assert_array_equal(sp.b_ub, dn.b_ub)
+            np.testing.assert_array_equal(sp.b_eq, dn.b_eq)
+            np.testing.assert_array_equal(sp.c, dn.c)
+            np.testing.assert_array_equal(sp.lb, dn.lb)
+            np.testing.assert_array_equal(sp.ub, dn.ub)
+            np.testing.assert_array_equal(sp.integrality, dn.integrality)
+            assert sp.names == dn.names
+            assert sp.row_map == dn.row_map
+            assert sp.objective_offset == dn.objective_offset
+            assert sp.maximize == dn.maximize
+
+    def test_both_lowerings_solve_identically(self):
+        rng = np.random.default_rng(7)
+        from repro.optim.simplex import solve_standard_form
+
+        agreements = 0
+        for _ in range(25):
+            model = _random_model(rng)
+            sp_sol = solve_standard_form(model.to_standard_form(sparse=True))
+            dn_sol = solve_standard_form(model.to_standard_form(sparse=False))
+            assert sp_sol.status is dn_sol.status
+            if sp_sol.objective is not None:
+                assert sp_sol.objective == pytest.approx(dn_sol.objective, abs=1e-6)
+                agreements += 1
+        assert agreements >= 5  # the generator must produce solvable LPs
+
+    def test_zero_coefficient_terms_stay_in_the_pattern(self):
+        model = Model("zeros", sense="min")
+        x, y = model.add_var("x"), model.add_var("y")
+        model.add_constr(1.0 * x + 0.0 * y <= 3, name="row")
+        model.set_objective(x + y)
+        form = model.to_standard_form()
+        assert form.A_ub.nnz == 2  # the zero coefficient is stored explicitly
+        assert form.A_ub.get(0, y.index) == 0.0
+
+
+class TestBasisFactor:
+    """The LU + eta-file machinery against explicit dense references."""
+
+    def _canonical_fixture(self, rng, m=12):
+        """A canonical LP whose first ``m`` columns form a well-conditioned
+        basis, with ``m`` further dense-ish columns available to enter."""
+        model = Model("factor", sense="min")
+        xs = [model.add_var(f"x{i}", lb=0.0, ub=10.0) for i in range(2 * m)]
+        for i in range(m):
+            coeffs = rng.uniform(-1, 1, size=2 * m) * (rng.random(2 * m) < 0.4)
+            coeffs[i] = float(rng.uniform(4, 6))  # strongly diagonal basis block
+            expr = lin_sum(float(c) * x for c, x in zip(coeffs, xs))
+            model.add_constr(expr == float(rng.uniform(1, 5)), name=f"r{i}")
+        model.set_objective(lin_sum(xs))
+        return _canonicalize(model.to_standard_form())
+
+    def test_eta_updates_track_explicit_basis_replacements(self):
+        rng = np.random.default_rng(3)
+        lp = self._canonical_fixture(rng)
+        m = lp.m
+        basis = np.arange(m, dtype=np.int64)
+        art_sign = np.ones(m)
+        factor = _BasisFactor(lp, basis, art_sign)
+        B = np.stack([lp.A.gather_col(j, np.zeros(m)) for j in basis], axis=1)
+
+        updates = 0
+        attempts = 0
+        while updates < 40 and attempts < 400:  # well past _REFACTOR_INTERVAL
+            attempts += 1
+            q = int(rng.integers(0, lp.n))
+            if q in basis:
+                continue
+            col = lp.A.gather_col(q, np.zeros(m))
+            w = factor.ftran(col)
+            r = int(np.argmax(np.abs(w)))
+            if abs(w[r]) < 1e-6:
+                continue
+            factor.update(r, w)
+            basis[r] = q
+            B[:, r] = col
+            updates += 1
+
+            rhs = rng.standard_normal(m)
+            np.testing.assert_allclose(factor.ftran(rhs.copy()), np.linalg.solve(B, rhs), atol=1e-7)
+            np.testing.assert_allclose(
+                factor.btran(rhs.copy()), np.linalg.solve(B.T, rhs), atol=1e-7
+            )
+        assert updates == 40
+        assert factor.needs_refactor()  # long eta file demands refactorization
+        fresh = _BasisFactor(lp, basis, art_sign)
+        rhs = rng.standard_normal(m)
+        np.testing.assert_allclose(fresh.ftran(rhs.copy()), factor.ftran(rhs.copy()), atol=1e-6)
+
+    def test_clone_is_copy_on_write(self):
+        rng = np.random.default_rng(5)
+        lp = self._canonical_fixture(rng)
+        m = lp.m
+        basis = np.arange(m, dtype=np.int64)
+        factor = _BasisFactor(lp, basis, np.ones(m))
+        clone = factor.clone()
+        col = lp.A.gather_col(m, np.zeros(m))
+        w = factor.ftran(col)
+        clone.update(int(np.argmax(np.abs(w))), w)
+        assert clone.n_etas == 1
+        assert factor.n_etas == 0  # the original's eta file is untouched
+
+    def test_warm_chain_triggers_refactorization_and_stays_exact(self):
+        """A long warm-started re-solve chain must refactorize and keep
+        matching a cold solve of the same data (eta-drift regression)."""
+        from repro.optim import SolverSession
+        from repro.optim.simplex import solve_standard_form
+
+        rng = np.random.default_rng(17)
+        model = Model("chain", sense="min")
+        xs = [model.add_var(f"x{i}", ub=10.0) for i in range(6)]
+        model.add_constr(lin_sum(xs) >= 6.0, name="cover")
+        model.add_constr(xs[0] + 2 * xs[1] + 3 * xs[2] >= 3.0, name="mix")
+        model.add_constr(xs[3] + xs[4] >= 1.0, name="pair")
+        model.set_objective(lin_sum(float(c) * x for c, x in zip([2, 1, 3, 1.5, 2.5, 1.2], xs)))
+        session = SolverSession(model, backend="simplex")
+        instr.reset()
+        for step in range(25 * max(1, _REFACTOR_INTERVAL // 8)):
+            for name, hi in (("cover", 12.0), ("mix", 6.0), ("pair", 4.0)):
+                rhs = float(rng.uniform(0.5, hi))
+                session.update_constraint_rhs(name, rhs)
+                model.update_constraint_rhs(name, rhs)  # mirrored ground truth
+            warm = session.solve()
+            cold = solve_standard_form(model.to_standard_form())
+            assert warm.status is cold.status, f"step {step}"
+            if cold.objective is not None:
+                assert warm.objective == pytest.approx(cold.objective, abs=1e-6), f"step {step}"
+        assert instr.get("eta_updates") > _REFACTOR_INTERVAL
+        assert instr.get("refactorizations") >= 1
+
+
+class TestCanonicalizationContract:
+    def test_branch_and_bound_canonicalizes_once(self, monkeypatch):
+        """The whole B&B tree shares one canonicalization; per-node work is
+        bound patches and basis updates (the PR's acceptance contract)."""
+        from repro.optim import scipy_backend
+        from repro.optim.branch_and_bound import solve_milp
+
+        monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        rng = np.random.default_rng(3)
+        model = Model("cover", sense="min")
+        xs = [model.add_var(f"z{i}", vartype="binary") for i in range(12)]
+        for row in range(8):
+            coeffs = rng.uniform(0.1, 1.0, size=12)
+            model.add_constr(lin_sum(float(c) * x for c, x in zip(coeffs, xs)) >= 2.0)
+        model.set_objective(lin_sum(float(w) * x for w, x in zip(rng.uniform(1, 3, size=12), xs)))
+        form = model.to_standard_form()
+        instr.reset()
+        solution = solve_milp(form)
+        assert solution.is_optimal
+        assert solution.iterations >= 2  # a real tree was explored...
+        assert instr.get("lp_solves") == solution.iterations
+        assert instr.get("canonicalizations") == 1  # ...over one lowering
+
+    def test_simplex_solver_reuses_canonical_structure(self):
+        model = Model("reuse", sense="min")
+        x = model.add_var("x", lb=0.0, ub=4.0)
+        y = model.add_var("y", lb=0.0, ub=4.0)
+        model.add_constr(x + y >= 2, name="cover")
+        model.set_objective(x + 2 * y)
+        solver = SimplexSolver(model.to_standard_form())
+        instr.reset()
+        sol1, basis = solver.solve()
+        lb = np.array([1.0, 0.0])
+        ub = np.array([4.0, 4.0])
+        sol2, _ = solver.solve(lb=lb, ub=ub, warm_basis=basis)
+        assert sol1.objective == pytest.approx(2.0)
+        assert sol2.objective == pytest.approx(2.0)
+        assert instr.get("canonicalizations") == 1
+
+    def test_bound_class_change_recanonicalizes(self):
+        model = Model("reclass", sense="min")
+        x = model.add_var("x", lb=-np.inf)  # free at the root: split column
+        model.add_constr(x >= -5, name="floor")
+        model.set_objective(x)
+        solver = SimplexSolver(model.to_standard_form())
+        instr.reset()
+        sol1, _ = solver.solve()
+        assert sol1.objective == pytest.approx(-5.0)
+        # A finite bound changes the free classification: new structure.
+        sol2, _ = solver.solve(lb=np.array([-2.0]), ub=np.array([np.inf]))
+        assert sol2.objective == pytest.approx(-2.0)
+        assert instr.get("canonicalizations") == 2

@@ -139,3 +139,32 @@ class TestExpectedGain:
         problem = PPMProblem(figure3_matrix, coverage=1.0)
         with pytest.raises(ValueError):
             expected_gain(problem, [], new_devices=-1)
+
+
+class TestPPMSessionCache:
+    """The per-problem session cache behind solve_ilp / solve_incremental."""
+
+    def test_repeated_incremental_solves_share_one_session(self, small_traffic):
+        from repro.passive import ilp as ilp_module
+
+        problem = PPMProblem(small_traffic, coverage=0.9)
+        base = solve_ilp(problem)
+        solve_incremental(problem, base.monitored_links[:1])
+        solve_incremental(problem, base.monitored_links[:2])
+        sessions = [
+            entry[1]
+            for per_problem in [ilp_module._ppm_sessions[problem]]
+            for entry in per_problem.values()
+        ]
+        assert len(sessions) == 1  # one lowered model served every variant
+        assert sessions[0].solves == 3
+
+    def test_mutated_problem_invalidates_cached_session(self, small_traffic):
+        # PPMProblem is mutable; a changed coverage target must not be
+        # served a stale cached lowering (regression test).
+        problem = PPMProblem(small_traffic, coverage=0.4)
+        low = solve_ilp(problem)
+        problem.coverage = 0.95
+        high = solve_ilp(problem)
+        assert high.num_devices > low.num_devices
+        assert high.coverage >= 0.95 - 1e-9
