@@ -1,20 +1,28 @@
 """Command-line interface.
 
-Three subcommands cover the library's main workflows::
+Four subcommands cover the library's main workflows::
 
-    python -m repro passive --preset pop10 --coverage 0.95
-    python -m repro active  --preset pop29 --candidates 15
-    python -m repro figures --seeds 3 --skip-large
+    python -m repro passive    --preset pop10 --coverage 0.95
+    python -m repro active     --preset pop29 --candidates 15
+    python -m repro figures    --seeds 3 --skip-large
+    python -m repro lint-model --preset pop10 --formulation passive
 
 ``passive`` places tap devices on a generated POP (greedy and exact MIP),
-``active`` computes probes and places beacons (baseline, greedy, ILP), and
-``figures`` regenerates the data series of the paper's evaluation figures.
+``active`` computes probes and places beacons (baseline, greedy, ILP),
+``figures`` regenerates the data series of the paper's evaluation figures,
+and ``lint-model`` lowers the paper's placement programs *without solving
+them* and runs the pre-solve static analyzer
+(:mod:`repro.optim.analysis`) over the matrices, exiting non-zero on
+error-severity findings.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.optim import Model
 
 from repro.active import BeaconPlacementProblem, compute_probe_set, greedy_placement, ilp_placement
 from repro.active.beacons import baseline_placement
@@ -90,6 +98,44 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_models(preset: str, seed: int, coverage: float, formulation: str) -> List[Tuple[str, "Model"]]:
+    """Build (without solving) the placement models selected for linting."""
+    from repro.covering.vertex_cover import build_vertex_cover_model
+    from repro.passive.ilp import PPMSession
+
+    pop = paper_pop(preset, seed=seed)
+    models: List[Tuple[str, "Model"]] = []
+    if formulation in ("passive", "both"):
+        matrix = generate_traffic_matrix(pop, seed=seed)
+        problem = PPMProblem(matrix, coverage=coverage)
+        models.append(("ppm-lp2", PPMSession(problem).model))
+    if formulation in ("active", "both"):
+        probe_set = compute_probe_set(pop, pop.routers)
+        problem_b = BeaconPlacementProblem(probe_set)
+        beacon_model, _ = build_vertex_cover_model(problem_b.to_vertex_cover())
+        models.append(("beacon-ilp", beacon_model))
+    return models
+
+
+def _cmd_lint_model(args: argparse.Namespace) -> int:
+    from repro.optim.analysis import analyze_form, has_errors
+    from repro.optim.diagnostics import format_report
+
+    exit_code = 0
+    for label, model in _lint_models(args.preset, args.seed, args.coverage, args.formulation):
+        form = model.to_standard_form()
+        diagnostics = analyze_form(form)
+        shape = (
+            f"{form.num_vars} vars, "
+            f"{form.b_ub.size} ub rows, {form.b_eq.size} eq rows"
+        )
+        print(f"-- {label} ({args.preset}, {shape})")
+        print(format_report(diagnostics, label=label))
+        if has_errors(diagnostics):
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -116,6 +162,17 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--time-limit", type=float, default=20.0,
                          help="per-MIP time limit for the Figure 8 solves (default: 20s)")
     figures.set_defaults(func=_cmd_figures)
+
+    lint = subparsers.add_parser(
+        "lint-model",
+        help="run the pre-solve static analyzer over the placement programs",
+    )
+    _add_common(lint)
+    lint.add_argument("--coverage", type=float, default=0.95,
+                      help="coverage target for the passive LP2 model (default: 0.95)")
+    lint.add_argument("--formulation", choices=("passive", "active", "both"), default="both",
+                      help="which formulation(s) to lower and analyze (default: both)")
+    lint.set_defaults(func=_cmd_lint_model)
     return parser
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.optim import Model, lin_sum
-from repro.optim.errors import InfeasibleError
+from repro.optim.errors import InfeasibleError, InternalSolverError
 
 
 @dataclass
@@ -115,7 +115,10 @@ def greedy_set_cover(instance: SetCoverInstance) -> List[Hashable]:
                 abs(ratio - best_ratio) <= 1e-12 and gain > best_gain
             ):
                 best_label, best_ratio, best_gain = label, ratio, gain
-        assert best_label is not None  # guaranteed by is_coverable
+        if best_label is None:  # unreachable: is_coverable was checked above
+            raise InternalSolverError(
+                "greedy set cover found no subset with positive gain on a coverable instance"
+            )
         selection.append(best_label)
         uncovered -= remaining.pop(best_label)
     return selection

@@ -125,11 +125,13 @@ def matching_vertex_cover(instance: VertexCoverInstance) -> List[Hashable]:
     return cover
 
 
-def exact_vertex_cover(instance: VertexCoverInstance, backend: str = "auto") -> List[Hashable]:
-    """Exact restricted vertex cover via the 0-1 ILP of Section 6.
+def build_vertex_cover_model(instance: VertexCoverInstance):
+    """Build (without solving) the restricted vertex cover 0-1 ILP.
 
-    ``minimize sum_i y_i`` subject to ``y_u + y_v >= 1`` for every edge and
-    ``y_i = 0`` for vertices outside the allowed set.
+    Returns ``(model, y)`` where ``y`` maps each vertex to its binary
+    variable.  Shared by :func:`exact_vertex_cover` and the ``repro
+    lint-model`` CLI, which runs the pre-solve static analyzer over the
+    lowered matrices.
     """
     _check_feasible(instance)
     model = Model("vertex-cover", sense="min")
@@ -144,5 +146,16 @@ def exact_vertex_cover(instance: VertexCoverInstance, backend: str = "auto") -> 
         else:
             model.add_constr(y[u] + y[v] >= 1, name=f"probe[{idx}]")
     model.set_objective(lin_sum(y[v] for v in vertices))
+    return model, y
+
+
+def exact_vertex_cover(instance: VertexCoverInstance, backend: str = "auto") -> List[Hashable]:
+    """Exact restricted vertex cover via the 0-1 ILP of Section 6.
+
+    ``minimize sum_i y_i`` subject to ``y_u + y_v >= 1`` for every edge and
+    ``y_i = 0`` for vertices outside the allowed set.
+    """
+    model, y = build_vertex_cover_model(instance)
+    vertices = sorted(instance.vertices, key=repr)
     solution = model.solve(backend=backend, raise_on_infeasible=True)
     return [v for v in vertices if solution.value(y[v].name) > 0.5]

@@ -21,8 +21,15 @@ CPLEX plays in the original article:
   sparse matrices directly (no densification), which is much faster on the
   larger experiment instances.
 * :mod:`repro.optim.instrumentation` -- global counters (pivots,
-  factorizations, canonicalizations, peak nonzeros) the benchmarks persist
-  alongside wall-times.
+  factorizations, canonicalizations, peak nonzeros, analyzer runs) the
+  benchmarks persist alongside wall-times.
+* :mod:`repro.optim.analysis` -- a pre-solve static analyzer over lowered
+  :class:`~repro.optim.model.StandardForm` matrices (shape/NaN/bound/row
+  sanity, duplicate and trivially-infeasible rows, scaling warnings),
+  wired into every backend behind the ``check="off"|"warn"|"strict"``
+  solver option; ``"warn"`` findings route through
+  :mod:`repro.optim.diagnostics`, ``"strict"`` raises
+  :class:`~repro.optim.errors.ModelAnalysisError`.
 
 Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
 ``gap_tol``) use one unified vocabulary; the matrix of which backend honors
@@ -49,19 +56,25 @@ The public entry point is :class:`repro.optim.model.Model`:
 
 from repro.optim.errors import (
     InfeasibleError,
+    InternalSolverError,
+    ModelAnalysisError,
     OptimError,
     SolverError,
     UnboundedError,
 )
 from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
 from repro.optim.solution import Solution, SolveStatus
+from repro.optim.analysis import Diagnostic, analyze_form
 from repro.optim.backend import SolverSession, available_backends, solve_model
 
 __all__ = [
     "Constraint",
+    "Diagnostic",
     "InfeasibleError",
+    "InternalSolverError",
     "LinExpr",
     "Model",
+    "ModelAnalysisError",
     "OptimError",
     "Solution",
     "SolverSession",
@@ -69,6 +82,7 @@ __all__ = [
     "SolverError",
     "UnboundedError",
     "Variable",
+    "analyze_form",
     "available_backends",
     "lin_sum",
     "solve_model",

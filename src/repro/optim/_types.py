@@ -1,0 +1,27 @@
+"""Shared numpy array aliases for the strictly-typed optimization package.
+
+``mypy --strict`` (enforced by the CI ``static-analysis`` job) forbids bare
+``np.ndarray`` annotations because the type is generic; every module in
+:mod:`repro.optim` annotates its arrays with the aliases below instead.  The
+runtime cost is nil -- they are plain ``numpy.typing.NDArray`` aliases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["AnyArray", "BoolArray", "FloatArray", "IntArray"]
+
+#: Dense float64 vector / matrix (the solver stack's working dtype).
+FloatArray = npt.NDArray[np.float64]
+
+#: Index arrays (CSC ``indptr`` / ``indices``, basis headers).
+IntArray = npt.NDArray[np.int64]
+
+#: Boolean masks (free-variable masks, eligibility sets).
+BoolArray = npt.NDArray[np.bool_]
+
+#: An array of unspecified dtype (integrality markers arrive as int arrays
+#: of platform-dependent width; statuses as int8).
+AnyArray = npt.NDArray[np.generic]

@@ -26,12 +26,22 @@ Option              scipy     simplex    branch-and-bound
 ``max_iter``        yes(LP)   yes        yes (node LPs)
 ``max_nodes``       --        --         yes
 ``gap_tol``         --        --         yes
+``check``           yes       yes        yes
 ==================  ========  =========  ==================
 
 ``mip_gap`` is a *relative* optimality gap everywhere (HiGHS
 ``mip_rel_gap`` semantics); ``gap_tol`` is the in-house branch-and-bound's
 absolute fathoming tolerance.  ``max_iter`` bounds simplex iterations, and on
 the branch-and-bound backend it is forwarded to every node LP solve.
+
+``check`` runs the pre-solve static analyzer
+(:mod:`repro.optim.analysis`) over the lowered :class:`StandardForm` before
+it reaches any backend: ``"off"`` (the default) skips it, ``"warn"`` reports
+findings through :mod:`repro.optim.diagnostics`, and ``"strict"`` raises
+:class:`~repro.optim.errors.ModelAnalysisError` on error-severity findings.
+On a :class:`SolverSession` the analysis re-runs against the *patched*
+matrices before every solve, which is exactly when programmatic updates can
+silently break a model.
 
 Warm starts and re-solves
 -------------------------
@@ -48,23 +58,30 @@ start; sessions still avoid the model re-lowering cost there.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
-import numpy as np
-
+from repro.optim import analysis
+from repro.optim._types import FloatArray
 from repro.optim.errors import InfeasibleError, ModelError, SolverError, UnboundedError
 from repro.optim.model import Model, StandardForm, Variable
 from repro.optim.solution import Solution, SolveStatus
-from repro.optim.sparse import is_sparse
+from repro.optim.sparse import SparseMatrix, is_sparse
+
+if TYPE_CHECKING:  # pragma: no cover - types only (simplex is imported lazily)
+    from repro.optim.simplex import SimplexSolver, _Basis
 
 #: Canonical backend names accepted by :func:`solve_model`.
 BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
 
 #: Options each concrete backend honors; anything else raises SolverError.
-BACKEND_OPTIONS: Dict[str, frozenset] = {
-    "scipy": frozenset({"time_limit", "mip_gap", "max_iter"}),
-    "simplex": frozenset({"max_iter"}),
-    "branch-and-bound": frozenset({"max_nodes", "gap_tol", "mip_gap", "max_iter", "time_limit"}),
+#: ``check`` is handled by the dispatcher itself and is therefore valid for
+#: every backend.
+BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
+    "scipy": frozenset({"time_limit", "mip_gap", "max_iter", "check"}),
+    "simplex": frozenset({"max_iter", "check"}),
+    "branch-and-bound": frozenset(
+        {"max_nodes", "gap_tol", "mip_gap", "max_iter", "time_limit", "check"}
+    ),
 }
 
 
@@ -91,7 +108,7 @@ def _resolve_backend(backend: str, is_mip: bool) -> str:
     return "branch-and-bound" if is_mip else "simplex"
 
 
-def _check_options(backend: str, options: Dict[str, object]) -> None:
+def _check_options(backend: str, options: Dict[str, Any]) -> None:
     """Reject option names the resolved backend does not honor."""
     unknown = set(options) - BACKEND_OPTIONS[backend]
     if unknown:
@@ -101,11 +118,21 @@ def _check_options(backend: str, options: Dict[str, object]) -> None:
         )
 
 
+def _pop_check_mode(options: Dict[str, Any]) -> str:
+    """Extract and validate the dispatcher-level ``check`` option."""
+    mode = options.pop("check", "off")
+    if mode not in analysis.CHECK_MODES:
+        raise SolverError(
+            f"check option must be one of {analysis.CHECK_MODES}, got {mode!r}"
+        )
+    return str(mode)
+
+
 def _solve_form(
     form: StandardForm,
     is_mip: bool,
     backend: str,
-    options: Dict[str, object],
+    options: Dict[str, Any],
 ) -> Solution:
     """Dispatch an already-lowered ``StandardForm`` to a concrete backend."""
     if backend == "scipy":
@@ -152,7 +179,7 @@ def solve_model(
     model: Model,
     backend: str = "auto",
     raise_on_infeasible: bool = False,
-    **options,
+    **options: Any,
 ) -> Solution:
     """Solve ``model`` with the requested backend.
 
@@ -168,12 +195,17 @@ def solve_model(
         :class:`~repro.optim.errors.UnboundedError` instead of being returned.
     options:
         Backend-specific options; see :data:`BACKEND_OPTIONS` for the matrix.
-        Unrecognized option names raise :class:`SolverError`.
+        Unrecognized option names raise :class:`SolverError`.  The
+        dispatcher-level ``check`` option (``"off"``/``"warn"``/``"strict"``)
+        runs the pre-solve static analyzer over the lowered form.
     """
     resolved = _resolve_backend(backend, model.is_mip)
     _check_options(resolved, options)
+    remaining = dict(options)
+    check_mode = _pop_check_mode(remaining)
     form = model.to_standard_form()
-    solution = _solve_form(form, model.is_mip, resolved, options)
+    analysis.enforce(form, check_mode, label=model.name)
+    solution = _solve_form(form, model.is_mip, resolved, remaining)
     if raise_on_infeasible:
         _raise_for_status(solution, model.name)
     return solution
@@ -199,23 +231,26 @@ class SolverSession:
       sign flip internally via :attr:`StandardForm.row_map`.
     * Each successful solve is attached back to the model, so
       :meth:`Model.value` keeps working after session re-solves.
+    * A session-level ``check`` option re-runs the static analyzer against
+      the patched matrices before *every* solve.
     """
 
-    def __init__(self, model: Model, backend: str = "auto", **options) -> None:
+    def __init__(self, model: Model, backend: str = "auto", **options: Any) -> None:
         self.model = model
         self._is_mip = model.is_mip
         self.backend = _resolve_backend(backend, self._is_mip)
         _check_options(self.backend, options)
-        self.options: Dict[str, object] = dict(options)
+        self.options: Dict[str, Any] = dict(options)
+        self.check = _pop_check_mode(self.options)
         self.form = model.to_standard_form()
         self._sign = -1.0 if self.form.maximize else 1.0
-        self._simplex = None  # lazily-built SimplexSolver for warm starts
-        self._basis = None
+        self._simplex: Optional["SimplexSolver"] = None  # lazy, for warm starts
+        self._basis: Optional["_Basis"] = None
         self._coeffs_dirty = False  # matrix coefficients patched since last solve
         self.solves = 0
 
     # -- update surface ----------------------------------------------------
-    def _row(self, name: str) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    def _row(self, name: str) -> Tuple[Union[FloatArray, SparseMatrix], FloatArray, int, float]:
         try:
             kind, row, sign = self.form.row_map[name]
         except KeyError:
@@ -241,7 +276,9 @@ class SolverSession:
         _, b, row, sign = self._row(name)
         b[row] = sign * float(rhs)
 
-    def update_constraint_coeff(self, name: str, var: Union[Variable, str], coeff: float) -> None:
+    def update_constraint_coeff(
+        self, name: str, var: Union[Variable, str], coeff: float
+    ) -> None:
         """Set one coefficient of constraint ``name`` (model orientation).
 
         The patch lands directly in the lowered (sparse) matrix; touching a
@@ -251,7 +288,7 @@ class SolverSession:
         """
         A, _, row, sign = self._row(name)
         col = self._var_index(var)
-        if is_sparse(A):
+        if is_sparse(A) and isinstance(A, SparseMatrix):
             A.set(row, col, sign * float(coeff))
         else:
             A[row, col] = sign * float(coeff)
@@ -274,15 +311,35 @@ class SolverSession:
         if ub is not None:
             self.form.ub[index] = float(ub)
 
+    # -- static analysis ----------------------------------------------------
+    def analyze(self, mode: Optional[str] = None) -> List["analysis.Diagnostic"]:
+        """Run the static analyzer against the current (patched) matrices.
+
+        ``mode`` defaults to the session's ``check`` option; ``"strict"``
+        raises :class:`~repro.optim.errors.ModelAnalysisError` on
+        error-severity findings.  With ``mode="off"`` this is a no-op
+        returning an empty list.
+        """
+        effective = self.check if mode is None else mode
+        if effective not in analysis.CHECK_MODES:
+            raise SolverError(
+                f"check option must be one of {analysis.CHECK_MODES}, got {effective!r}"
+            )
+        return analysis.enforce(self.form, effective, label=self.model.name)
+
     # -- solving -----------------------------------------------------------
-    def solve(self, raise_on_infeasible: bool = False, **options) -> Solution:
+    def solve(self, raise_on_infeasible: bool = False, **options: Any) -> Solution:
         """Re-solve against the current (patched) matrices.
 
-        ``options`` override the session-level defaults for this call only.
+        ``options`` override the session-level defaults for this call only
+        (the ``check`` mode included).
         """
         merged = dict(self.options)
+        merged["check"] = self.check
         merged.update(options)
         _check_options(self.backend, merged)
+        check_mode = _pop_check_mode(merged)
+        analysis.enforce(self.form, check_mode, label=self.model.name)
 
         if self.backend == "simplex" and not self._is_mip:
             from repro.optim.simplex import SimplexSolver

@@ -50,7 +50,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.optim.errors import SolverError
+from repro.optim.errors import InternalSolverError, SolverError
 from repro.optim.model import StandardForm
 from repro.optim.solution import Solution, SolveStatus
 from repro.optim.sparse import matvec
@@ -228,7 +228,11 @@ def solve_milp(
 
     def relaxation_cost(solution: Solution) -> float:
         """LP objective in minimization sense (undo the model-sense flip)."""
-        assert solution.objective is not None
+        if solution.objective is None:
+            raise InternalSolverError(
+                "node LP reported OPTIMAL without an objective value "
+                f"(backend {solution.backend!r})"
+            )
         return sign * solution.objective
 
     def cutoff() -> float:

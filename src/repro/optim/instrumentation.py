@@ -4,7 +4,10 @@ The sparse revised simplex and the branch-and-bound driver report what they
 actually did -- pivots, basis (re)factorizations, canonicalizations, peak
 stored nonzeros -- through this module, so benchmarks can attribute
 wall-time wins to solver behaviour instead of guessing (the counters are
-persisted next to the wall-times in ``BENCH_optim.json``).
+persisted next to the wall-times in ``BENCH_optim.json``).  The pre-solve
+static analyzer (:mod:`repro.optim.analysis`) reports its runs and finding
+counts here too, so a benchmark run shows whether (and how noisily) model
+checking was enabled.
 
 The counters are process-global and not thread-safe; the repo's workloads
 are single-threaded solves.  Typical usage::
@@ -30,6 +33,8 @@ COUNTER_NAMES = (
     "canonicalizations",  # StandardForm -> canonical bounded-LP lowerings
     "lp_solves",          # LP solves completed by the in-house simplex
     "peak_nnz",           # peak stored nonzeros (canonical matrix + eta file)
+    "analyzer_runs",      # pre-solve static analyzer passes executed
+    "analyzer_findings",  # diagnostics emitted across those passes
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}

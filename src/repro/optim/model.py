@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -109,7 +109,7 @@ class Variable:
     def __ge__(self, other: Union["Variable", "LinExpr", Number]) -> "Constraint":
         return self._as_expr() >= other
 
-    def __eq__(self, other: object):  # type: ignore[override]
+    def __eq__(self, other: object) -> Any:  # type: ignore[override]
         if isinstance(other, (Variable, LinExpr, int, float)):
             return self._as_expr() == other
         return NotImplemented
@@ -192,7 +192,7 @@ class LinExpr:
     def __ge__(self, other: Union["LinExpr", Variable, Number]) -> "Constraint":
         return Constraint(self - self._coerce(other), ">=")
 
-    def __eq__(self, other: object):  # type: ignore[override]
+    def __eq__(self, other: object) -> Any:  # type: ignore[override]
         if isinstance(other, (LinExpr, Variable, int, float)):
             return Constraint(self - self._coerce(other), "==")
         return NotImplemented
@@ -439,7 +439,7 @@ class Model:
         parameterized re-solve vocabulary (`update_*` mutators)."""
         self.set_objective(expr, sense=sense)
 
-    def session(self, backend: str = "auto", **options) -> "object":
+    def session(self, backend: str = "auto", **options: Any) -> "object":
         """Lower the model once and return a reusable
         :class:`repro.optim.backend.SolverSession` for incremental re-solves."""
         from repro.optim.backend import SolverSession
@@ -553,7 +553,7 @@ class Model:
         )
 
     # -- solving ------------------------------------------------------------
-    def solve(self, backend: str = "auto", **options) -> Solution:
+    def solve(self, backend: str = "auto", **options: Any) -> Solution:
         """Solve the model and cache/return the :class:`Solution`.
 
         ``backend`` is one of ``"auto"``, ``"scipy"``, ``"simplex"`` or

@@ -37,10 +37,10 @@ from repro.optim.solution import Solution, SolveStatus
 from repro.optim.sparse import as_spec
 
 try:  # pragma: no cover - exercised implicitly by is_available()
-    from scipy.optimize import LinearConstraint, Bounds, linprog, milp
+    from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
     _HAVE_SCIPY = True
-except Exception:  # pragma: no cover - environment without scipy
+except ImportError:  # pragma: no cover - environment without scipy
     _HAVE_SCIPY = False
 
 

@@ -58,10 +58,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.optim import instrumentation as instr
-from repro.optim.errors import SolverError
+from repro.optim.errors import InternalSolverError, SolverError
 from repro.optim.model import StandardForm
 from repro.optim.solution import Solution, SolveStatus
-from repro.optim.sparse import SparseMatrix, is_sparse
+from repro.optim.sparse import MatrixLike, SparseMatrix
 
 #: Numerical tolerance used throughout the simplex implementation.
 EPS = 1e-9
@@ -91,7 +91,7 @@ try:  # pragma: no cover - exercised implicitly via _BasisFactor
     from scipy.sparse.linalg import splu as _scipy_splu
 
     _HAVE_SPLU = True
-except Exception:  # pragma: no cover - numpy-only environment
+except ImportError:  # pragma: no cover - numpy-only environment
     _HAVE_SPLU = False
 
 #: Non-basic-at-lower-bound / non-basic-at-upper-bound / basic statuses.
@@ -182,8 +182,8 @@ def _basis_compatible(basis: Optional[_Basis], lp: _CanonicalLP) -> bool:
     )
 
 
-def _as_sparse(matrix) -> SparseMatrix:
-    if is_sparse(matrix):
+def _as_sparse(matrix: MatrixLike) -> SparseMatrix:
+    if isinstance(matrix, SparseMatrix):
         return matrix
     return SparseMatrix.from_dense(np.asarray(matrix, dtype=float))
 
@@ -806,7 +806,10 @@ def _solution_from_canonical(
         return Solution(status=SolveStatus.INFEASIBLE, backend="simplex", iterations=iterations)
     if status == "unbounded":
         return Solution(status=SolveStatus.UNBOUNDED, backend="simplex", iterations=iterations)
-    assert y is not None
+    if y is None:
+        raise InternalSolverError(
+            f"simplex reported status {status!r} without a solution vector"
+        )
     x = lp.recover(y)
     values = {name: float(x[i]) for i, name in enumerate(form.names)}
     return Solution(

@@ -18,7 +18,7 @@ structural rebuild.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Any, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -187,7 +187,7 @@ class SparseMatrix:
             out[self.indices, self._column_ids()] = self.data
         return out
 
-    def to_scipy(self):
+    def to_scipy(self) -> Any:
         """Return a ``scipy.sparse.csc_matrix`` view of this matrix."""
         from scipy.sparse import csc_matrix
 
@@ -225,7 +225,7 @@ def matvec(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
     return matrix @ x
 
 
-def as_spec(matrix: MatrixLike):
+def as_spec(matrix: MatrixLike) -> Any:
     """Whatever SciPy's ``linprog`` / ``LinearConstraint`` accept directly."""
     if isinstance(matrix, SparseMatrix):
         return matrix.to_scipy()

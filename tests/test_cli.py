@@ -30,6 +30,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["passive", "--preset", "pop1000"])
 
+    def test_lint_model_defaults(self):
+        args = build_parser().parse_args(["lint-model"])
+        assert args.preset == "pop10"
+        assert args.coverage == 0.95
+        assert args.formulation == "both"
+
+    def test_lint_model_rejects_unknown_formulation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint-model", "--formulation", "quantum"])
+
 
 class TestCommands:
     def test_passive_command_runs(self, capsys):
@@ -43,3 +53,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "probes" in out
         assert "exact ILP" in out
+
+    def test_lint_model_command_runs(self, capsys):
+        # The paper's own formulations must lint without error-severity
+        # findings (info/warning findings are allowed), so exit code is 0.
+        assert main(["lint-model", "--preset", "pop10", "--formulation", "both"]) == 0
+        out = capsys.readouterr().out
+        assert "ppm-lp2" in out
+        assert "beacon-ilp" in out
+        assert "model analysis" in out
+
+    def test_lint_model_passive_only(self, capsys):
+        assert main(["lint-model", "--formulation", "passive"]) == 0
+        out = capsys.readouterr().out
+        assert "ppm-lp2" in out
+        assert "beacon-ilp" not in out

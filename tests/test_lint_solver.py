@@ -1,0 +1,147 @@
+"""Tests for the project-specific AST linter (``tools/lint_solver.py``).
+
+Each rule gets positive and negative units on source snippets, and the
+whole ``src/repro`` tree is linted so the solver invariants are enforced by
+the plain pytest tier as well as CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_solver import (  # noqa: E402
+    DENSIFY_ALLOWLIST,
+    Finding,
+    iter_python_files,
+    lint_source,
+    main,
+)
+
+
+def _rules(source: str, path: str = "src/repro/optim/somefile.py"):
+    return [f.rule for f in lint_source(source, path)]
+
+
+class TestDensification:
+    def test_to_dense_method_flagged(self):
+        assert _rules("x = A.to_dense()") == ["SOLV001"]
+
+    def test_as_dense_call_flagged(self):
+        assert _rules("from repro.optim.sparse import as_dense\nx = as_dense(A)") == ["SOLV001"]
+
+    def test_linalg_inv_flagged(self):
+        assert _rules("import numpy as np\nB = np.linalg.inv(A)") == ["SOLV001"]
+        assert _rules("import numpy\nB = numpy.linalg.inv(A)") == ["SOLV001"]
+
+    def test_sparse_module_is_sanctioned(self):
+        assert _rules("x = self.to_dense()", "src/repro/optim/sparse.py") == []
+
+    def test_basis_factor_scope_is_sanctioned(self):
+        src = (
+            "class _BasisFactor:\n"
+            "    def refactor(self, B):\n"
+            "        import numpy as np\n"
+            "        return np.linalg.inv(B.to_dense())\n"
+        )
+        assert _rules(src, "src/repro/optim/simplex.py") == []
+
+    def test_other_simplex_scope_is_not_sanctioned(self):
+        src = "def pivot(A):\n    return A.to_dense()\n"
+        assert _rules(src, "src/repro/optim/simplex.py") == ["SOLV001"]
+
+    def test_unrelated_methods_not_flagged(self):
+        assert _rules("x = A.to_scipy()\ny = np.linalg.solve(A, b)") == []
+
+
+class TestBroadExcept:
+    def test_bare_except_flagged(self):
+        assert _rules("try:\n    f()\nexcept:\n    pass") == ["SOLV002"]
+
+    def test_broad_exception_flagged(self):
+        assert _rules("try:\n    f()\nexcept Exception:\n    pass") == ["SOLV002"]
+        assert _rules("try:\n    f()\nexcept BaseException as e:\n    pass") == ["SOLV002"]
+
+    def test_pragma_comment_allows(self):
+        src = "try:\n    f()\nexcept Exception:  # pragma: optional-dep\n    pass"
+        assert _rules(src) == []
+
+    def test_narrow_except_not_flagged(self):
+        assert _rules("try:\n    f()\nexcept ImportError:\n    pass") == []
+        assert _rules("try:\n    f()\nexcept (ValueError, KeyError):\n    pass") == []
+
+
+class TestRuntimeAssert:
+    def test_assert_flagged(self):
+        found = lint_source("def f(x):\n    assert x is not None\n", "src/repro/m.py")
+        assert [f.rule for f in found] == ["SOLV003"]
+        assert found[0].line == 2
+
+    def test_raise_not_flagged(self):
+        src = "def f(x):\n    if x is None:\n        raise InternalSolverError('x')\n"
+        assert _rules(src) == []
+
+
+class TestFormMutation:
+    def test_subscript_write_flagged(self):
+        assert _rules("form.b_ub[0] = 1.0") == ["SOLV004"]
+        assert _rules("self.form.c[j] += 2.0") == ["SOLV004"]
+        assert _rules("session._form.lb[2] = 0.0") == ["SOLV004"]
+
+    def test_solver_session_scope_is_sanctioned(self):
+        src = (
+            "class SolverSession:\n"
+            "    def update_constraint_rhs(self, name, rhs):\n"
+            "        self.form.b_ub[0] = rhs\n"
+        )
+        assert lint_source(src, "src/repro/optim/backend.py") == []
+
+    def test_non_form_subscript_not_flagged(self):
+        assert _rules("table.c[0] = 1.0") == []
+        assert _rules("form.data[0] = 1.0") == []
+
+    def test_whole_attribute_rebind_not_flagged(self):
+        # Rebinding the attribute itself is lowering, not in-place patching.
+        assert _rules("form.c = np.zeros(3)") == []
+
+
+class TestDriver:
+    def test_repo_tree_is_clean(self):
+        findings = []
+        for path in iter_python_files([str(REPO_ROOT / "src" / "repro")]):
+            findings.extend(lint_source(path.read_text(encoding="utf-8"), str(path)))
+        assert findings == [], [str(f) for f in findings]
+
+    def test_allowlist_paths_exist(self):
+        # Guards against the sanctioned files being renamed without updating
+        # the linter's allowlist.
+        for suffix, _scope in DENSIFY_ALLOWLIST:
+            assert (REPO_ROOT / "src" / suffix).exists(), suffix
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("assert True\n")
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "SOLV003" in out
+
+    def test_cli_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint_solver.py"), "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stderr
+
+    def test_finding_str(self):
+        finding = Finding("a.py", 3, "SOLV003", "no asserts")
+        assert str(finding) == "a.py:3: SOLV003: no asserts"
