@@ -21,6 +21,7 @@ from unittest import mock
 import pytest
 
 from repro.experiments import ExperimentConfig, figure7_passive_pop10
+from repro.optim import instrumentation as instr
 from repro.optim import scipy_backend
 from repro.passive.costs import uniform_costs
 from repro.passive.sampling import SamplingProblem, solve_ppme
@@ -55,6 +56,45 @@ def test_bench_inhouse_ppme_milp_80(benchmark):
     )
     assert placement.num_devices > 0
     assert placement.coverage >= 0.9 - 1e-6
+
+
+#: Node budget for the full 132-traffic PPME MILP on the in-house stack.
+#: The pre-engine baseline (most-fractional branching, no presolve, no
+#: cuts) explored 35,971 nodes and HiGHS takes 964; presolve + implied
+#: cardinality cuts + reliability branching bring the in-house tree to ~331.
+#: The budget is the 10x-under-baseline acceptance bar with ~10x headroom
+#: over the measured count, so noise does not flake the gate but losing any
+#: one of the three reductions (each worth well over 10x alone) fails it.
+_FULL_MILP_NODE_BUDGET = 3_600
+
+
+def test_gate_inhouse_ppme_node_count(benchmark):
+    """Regression gate on branch-and-bound tree size, not wall-time.
+
+    Wall-times move with the machine; the node count is deterministic for a
+    fixed seed and directly measures what the presolve/cut/branching engine
+    is supposed to deliver.  The conftest harness persists the counter
+    snapshot (``bb_nodes``, ``cuts_added``, ``strong_branch_probes``, ...)
+    into ``BENCH_optim.json`` alongside the wall-time.
+    """
+    problem = _ppme_problem()
+    placement = benchmark.pedantic(
+        _solve_inhouse_ppme, args=(problem,), rounds=1, iterations=1
+    )
+    nodes = instr.get("bb_nodes")
+    print(
+        f"\nin-house PPME MILP (full pop10): nodes={nodes} "
+        f"budget={_FULL_MILP_NODE_BUDGET} devices={placement.num_devices} "
+        f"cost={placement.total_cost:.3f}"
+    )
+    assert placement.num_devices > 0
+    assert placement.coverage >= 0.9 - 1e-6
+    assert nodes <= _FULL_MILP_NODE_BUDGET, (
+        f"branch-and-bound explored {nodes} nodes on the 132-traffic PPME "
+        f"MILP, over the {_FULL_MILP_NODE_BUDGET}-node regression budget; "
+        "check the presolve reductions, implied cardinality cuts and "
+        "pseudocost branching before raising the budget"
+    )
 
 
 @pytest.mark.skipif(

@@ -30,6 +30,15 @@ CPLEX plays in the original article:
   solver option; ``"warn"`` findings route through
   :mod:`repro.optim.diagnostics`, ``"strict"`` raises
   :class:`~repro.optim.errors.ModelAnalysisError`.
+* :mod:`repro.optim.presolve` -- the transform half of the analyzer: shrinks
+  a lowered form (fixed/empty columns, singleton/redundant/forcing/parallel
+  rows, integer coefficient tightening) into a
+  :class:`~repro.optim.presolve.ReducedForm` and maps solutions back through
+  a :class:`~repro.optim.presolve.Postsolve`.  Runs by default on every
+  backend (``presolve="on"|"off"``).
+* :mod:`repro.optim.cuts` -- cover and Gomory mixed-integer cutting planes
+  separated at the branch-and-bound root (cut-and-branch), plus node-level
+  reduced-cost bound fixing (``cuts="auto"|"off"``, ``max_cut_rounds``).
 
 Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
 ``gap_tol``) use one unified vocabulary; the matrix of which backend honors
@@ -66,6 +75,7 @@ from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
 from repro.optim.solution import Solution, SolveStatus
 from repro.optim.analysis import Diagnostic, analyze_form
 from repro.optim.backend import SolverSession, available_backends, solve_model
+from repro.optim.presolve import Postsolve, ReducedForm, presolve
 
 __all__ = [
     "Constraint",
@@ -76,6 +86,8 @@ __all__ = [
     "Model",
     "ModelAnalysisError",
     "OptimError",
+    "Postsolve",
+    "ReducedForm",
     "Solution",
     "SolverSession",
     "SolveStatus",
@@ -85,5 +97,6 @@ __all__ = [
     "analyze_form",
     "available_backends",
     "lin_sum",
+    "presolve",
     "solve_model",
 ]

@@ -70,8 +70,11 @@ __all__ = [
     "INFO",
     "WARNING",
     "analyze_form",
+    "coo_triplets",
     "enforce",
     "has_errors",
+    "row_activity_range",
+    "row_signatures",
 ]
 
 #: Diagnostic severities, most severe first.
@@ -138,6 +141,11 @@ def _coo(matrix: Union[FloatArray, SparseMatrix]) -> Tuple[IntArray, IntArray, F
         cols.astype(np.int64),
         dense[rows, cols].astype(float),
     )
+
+
+#: Public alias: the presolve pass (:mod:`repro.optim.presolve`) reuses the
+#: analyzer's COO extraction as its detection substrate.
+coo_triplets = _coo
 
 
 def _matrix_shape(matrix: Union[FloatArray, SparseMatrix]) -> Tuple[int, int]:
@@ -347,6 +355,11 @@ def _row_activity_range(
     return lo, hi
 
 
+#: Public alias: row activity ranges are the read-only half of redundant-row
+#: elimination and coefficient tightening in :mod:`repro.optim.presolve`.
+row_activity_range = _row_activity_range
+
+
 def _check_rows(form: StandardForm, out: List[Diagnostic]) -> None:
     """Empty / trivially infeasible / bound-redundant rows, per block."""
     for label, matrix, rhs, is_eq in (
@@ -447,6 +460,11 @@ def _row_signatures(
         )
         groups.setdefault(key, []).append((int(rows[s]), lead))
     return groups
+
+
+#: Public alias: parallel-row signatures drive duplicate/dominated row
+#: removal in :mod:`repro.optim.presolve`.
+row_signatures = _row_signatures
 
 
 def _check_duplicate_rows(form: StandardForm, out: List[Diagnostic]) -> None:

@@ -27,12 +27,23 @@ Option              scipy     simplex    branch-and-bound
 ``max_nodes``       --        --         yes
 ``gap_tol``         --        --         yes
 ``check``           yes       yes        yes
+``presolve``        yes       yes        yes
+``cuts``            --        --         yes
+``max_cut_rounds``  --        --         yes
 ==================  ========  =========  ==================
 
 ``mip_gap`` is a *relative* optimality gap everywhere (HiGHS
 ``mip_rel_gap`` semantics); ``gap_tol`` is the in-house branch-and-bound's
 absolute fathoming tolerance.  ``max_iter`` bounds simplex iterations, and on
 the branch-and-bound backend it is forwarded to every node LP solve.
+
+``presolve`` (``"on"`` by default, ``"off"`` to disable) runs
+:func:`repro.optim.presolve.presolve` over the lowered form before any
+backend sees it and maps the solution back afterwards; integer-only
+reductions are applied exactly when the resolved backend will enforce
+integrality (i.e. not on the ``simplex`` backend, which solves the LP
+relaxation).  ``cuts`` (``"auto"``/``"off"``) and ``max_cut_rounds`` steer
+the branch-and-bound root cutting-plane loop (:mod:`repro.optim.cuts`).
 
 ``check`` runs the pre-solve static analyzer
 (:mod:`repro.optim.analysis`) over the lowered :class:`StandardForm` before
@@ -60,6 +71,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.optim import analysis
 from repro.optim._types import FloatArray
 from repro.optim.errors import InfeasibleError, ModelError, SolverError, UnboundedError
@@ -77,10 +90,20 @@ BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
 #: ``check`` is handled by the dispatcher itself and is therefore valid for
 #: every backend.
 BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
-    "scipy": frozenset({"time_limit", "mip_gap", "max_iter", "check"}),
-    "simplex": frozenset({"max_iter", "check"}),
+    "scipy": frozenset({"time_limit", "mip_gap", "max_iter", "check", "presolve"}),
+    "simplex": frozenset({"max_iter", "check", "presolve"}),
     "branch-and-bound": frozenset(
-        {"max_nodes", "gap_tol", "mip_gap", "max_iter", "time_limit", "check"}
+        {
+            "max_nodes",
+            "gap_tol",
+            "mip_gap",
+            "max_iter",
+            "time_limit",
+            "check",
+            "presolve",
+            "cuts",
+            "max_cut_rounds",
+        }
     ),
 }
 
@@ -128,7 +151,57 @@ def _pop_check_mode(options: Dict[str, Any]) -> str:
     return str(mode)
 
 
+def _pop_presolve_mode(options: Dict[str, Any]) -> str:
+    """Extract and validate the dispatcher-level ``presolve`` option."""
+    mode = options.pop("presolve", "on")
+    if mode not in ("on", "off"):
+        raise SolverError(f"presolve option must be 'on' or 'off', got {mode!r}")
+    return str(mode)
+
+
 def _solve_form(
+    form: StandardForm,
+    is_mip: bool,
+    backend: str,
+    options: Dict[str, Any],
+) -> Solution:
+    """Presolve an already-lowered ``StandardForm``, dispatch, postsolve.
+
+    Presolve is applied here -- below :func:`solve_model` and the
+    :class:`SolverSession` cold path, above every backend -- so the reduced
+    form is what any backend actually solves and the caller transparently
+    receives original-space values.  The :class:`SolverSession` warm-simplex
+    path bypasses this function on purpose: presolve rebuilds the sparse
+    matrices (dropping explicit zeros), which would invalidate the session's
+    in-place coefficient patches and warm-start bases.
+    """
+    options = dict(options)
+    presolve_mode = _pop_presolve_mode(options)
+    if presolve_mode == "off" or len(form.names) != form.num_vars:
+        # Forms without a full name vector cannot round-trip through the
+        # value dict; solve them directly.
+        return _dispatch_form(form, is_mip, backend, options)
+
+    from repro.optim.presolve import presolve as run_presolve
+
+    reduced, post = run_presolve(form, integer_aware=is_mip and backend != "simplex")
+    if reduced.proven_infeasible:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="presolve")
+    if reduced.num_vars == 0:
+        # Fully solved by presolve (every remaining row was verified
+        # feasible against the fixed values before being dropped).
+        x = post.restore_point(np.zeros(0))
+        values = {name: float(x[i]) for i, name in enumerate(form.names)}
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=form.objective_value(x),
+            values=values,
+            backend="presolve",
+        )
+    return post.restore(_dispatch_form(reduced, is_mip, backend, options))
+
+
+def _dispatch_form(
     form: StandardForm,
     is_mip: bool,
     backend: str,
@@ -158,6 +231,11 @@ def _solve_form(
     # branch-and-bound
     from repro.optim.branch_and_bound import solve_milp
 
+    max_cut_rounds = options.get("max_cut_rounds", 5)
+    if not isinstance(max_cut_rounds, int) or max_cut_rounds < 0:
+        raise SolverError(
+            f"max_cut_rounds must be a non-negative integer, got {max_cut_rounds!r}"
+        )
     return solve_milp(
         form,
         max_nodes=options.get("max_nodes", 100_000),
@@ -165,6 +243,8 @@ def _solve_form(
         mip_gap=options.get("mip_gap"),
         max_iter=options.get("max_iter"),
         time_limit=options.get("time_limit"),
+        cuts=options.get("cuts", "auto"),
+        max_cut_rounds=max_cut_rounds,
     )
 
 

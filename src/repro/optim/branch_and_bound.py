@@ -1,10 +1,13 @@
 """Branch-and-bound driver for mixed-integer programs.
 
-The driver turns any LP-relaxation solver into an exact MILP solver.  It is
-deliberately simple -- best-bound node selection, most-fractional branching,
-and rounding-based incumbent detection -- because the 0-1 programs appearing
-in the paper (device placement and beacon placement) are small and extremely
-well behaved.
+The driver turns any LP-relaxation solver into an exact MILP solver: best-bound
+node selection, reliability (pseudocost) branching with strong-branching
+initialization, and rounding-based incumbent detection.  Branching quality is
+the dominant node-count lever on the paper's fixed-charge placements: their
+root relaxations are weak (a setup variable can sit at ``flow/capacity``,
+far below 1), so the *most fractional* variable is systematically the wrong
+one to branch on, while the variables whose child LPs actually move the dual
+bound -- the ones pseudocosts learn to rank first -- pay the full setup cost.
 
 The search is *incremental*: the :class:`~repro.optim.model.StandardForm` is
 lowered once, every node only carries its own ``lb``/``ub`` arrays, and the
@@ -16,20 +19,35 @@ patches), and each child warm-starts from its parent's factorized basis --
 typically a handful of dual simplex pivots repair the branching bound
 change, with no phase 1 and no re-canonicalization.
 
+The tree search is preceded by a *cut-and-branch* root loop (``cuts="auto"``,
+see :mod:`repro.optim.cuts`): up to ``max_cut_rounds`` rounds of cover and
+Gomory mixed-integer cut separation tighten the root relaxation before any
+branching happens.  Cuts are only ever added at the root -- mid-tree rows
+would invalidate the warm-start bases the nodes share -- and every cut is
+valid for the full integer hull, so the rounding heuristic and feasibility
+checks below need no changes.  After each optimal node LP, reduced-cost
+fixing tightens the node's integer bounds against the incumbent before the
+children are pushed.
+
 Options honored by this backend (see :func:`repro.optim.backend.solve_model`):
 
-=============  ===========================================================
-``max_nodes``  Limit on explored nodes; exceeding it returns the best
-               incumbent with status ``NODE_LIMIT`` (open nodes are never
-               silently discarded, so the reported bound/gap is correct).
-``gap_tol``    Absolute incumbent gap below which a node is fathomed.
-``mip_gap``    Relative optimality gap; a node within ``mip_gap *
-               |incumbent|`` of the incumbent is fathomed, mirroring the
-               HiGHS ``mip_rel_gap`` option.
-``max_iter``   Simplex iteration limit forwarded to every node LP solve.
-``time_limit`` Wall-clock limit in seconds; on expiry the best incumbent is
-               returned with status ``NODE_LIMIT``.
-=============  ===========================================================
+==================  ======================================================
+``max_nodes``       Limit on explored nodes; exceeding it returns the best
+                    incumbent with status ``NODE_LIMIT`` (open nodes are
+                    never silently discarded, so the reported bound/gap is
+                    correct).
+``gap_tol``         Absolute incumbent gap below which a node is fathomed.
+``mip_gap``         Relative optimality gap; a node within ``mip_gap *
+                    |incumbent|`` of the incumbent is fathomed, mirroring
+                    the HiGHS ``mip_rel_gap`` option.
+``max_iter``        Simplex iteration limit forwarded to every node LP
+                    solve.
+``time_limit``      Wall-clock limit in seconds; on expiry the best
+                    incumbent is returned with status ``NODE_LIMIT``.
+``cuts``            ``"auto"`` (default) runs the root cutting-plane loop
+                    and reduced-cost fixing; ``"off"`` disables both.
+``max_cut_rounds``  Bound on root separation rounds (default 5).
+==================  ======================================================
 
 Status contract for degenerate roots: when the root relaxation is unbounded
 the MILP may be either unbounded or infeasible.  The driver probes with a
@@ -50,8 +68,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.optim import instrumentation as instr
+from repro.optim.cuts import (
+    append_cut_rows,
+    reduced_cost_fixing,
+    separate_cover_cuts,
+    separate_gomory_cuts,
+    separate_implied_cardinality_cuts,
+)
 from repro.optim.errors import InternalSolverError, SolverError
 from repro.optim.model import StandardForm
+from repro.optim.simplex import _Basis, _CanonicalLP
 from repro.optim.solution import Solution, SolveStatus
 from repro.optim.sparse import matvec
 
@@ -60,6 +87,17 @@ INT_TOL = 1e-6
 
 #: Constraint-violation tolerance accepted by the rounding heuristic.
 _FEAS_TOL = 1e-7
+
+#: Total strong-branching child-LP probes allowed per ``solve_milp`` call.
+#: Probes only run while a variable's pseudocosts are uninitialized, so the
+#: budget is spent once near the root (two probes per integer variable) and
+#: the rest of the tree branches on learned estimates for free.
+_SB_PROBE_BUDGET = 200
+
+#: Strong-branching probe cap per node, so a single node with many
+#: fractional variables cannot drain the whole budget before the tree has
+#: seen a second warm basis.
+_SB_PROBES_PER_NODE = 8
 
 
 def _feasible_point(form: StandardForm, x: np.ndarray) -> bool:
@@ -108,13 +146,71 @@ def _rounded_incumbents(
 
 @dataclass(order=True)
 class _Node:
-    """A branch-and-bound node: the parent's LP bound plus extra bounds."""
+    """A branch-and-bound node: the parent's LP bound plus extra bounds.
+
+    ``branch_var`` / ``branch_up`` / ``parent_cost`` / ``branch_frac`` record
+    how the node was created, so its LP solve can feed the observed objective
+    degradation back into the pseudocost estimates.  ``parent_cost`` is NaN
+    for the root and for children whose bound already comes from a
+    strong-branching probe (the probe was the observation; re-recording the
+    same child LP would double-weight it).
+    """
 
     bound: float
     order: int = field(compare=True)
     lb: np.ndarray = field(compare=False, default=None)
     ub: np.ndarray = field(compare=False, default=None)
     warm_basis: object = field(compare=False, default=None)
+    branch_var: int = field(compare=False, default=-1)
+    branch_up: bool = field(compare=False, default=False)
+    parent_cost: float = field(compare=False, default=math.nan)
+    branch_frac: float = field(compare=False, default=0.0)
+
+
+class _Pseudocosts:
+    """Per-variable, per-direction objective-degradation estimates.
+
+    Row 0 aggregates *down* branches (upper bound tightened to the floor),
+    row 1 *up* branches.  Each observation is the child LP's objective
+    increase divided by the fractional distance branched away -- the
+    classic pseudocost normalization, which makes estimates transfer
+    between nodes where the variable takes different fractional values.
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        self.sums = np.zeros((2, num_vars))
+        self.counts = np.zeros((2, num_vars), dtype=np.int64)
+
+    def observe(self, var: int, up: bool, degradation: float, frac: float) -> None:
+        """Record one branching outcome (negative degradations clamp to 0)."""
+        side = 1 if up else 0
+        self.sums[side, var] += max(0.0, degradation) / max(frac, INT_TOL)
+        self.counts[side, var] += 1
+
+    def initialized(self, var: int) -> bool:
+        """Whether both directions of ``var`` have at least one observation."""
+        return bool(self.counts[0, var] > 0 and self.counts[1, var] > 0)
+
+    def scores(self, candidates: np.ndarray, frac: np.ndarray) -> np.ndarray:
+        """Product score of estimated down/up degradations per candidate.
+
+        Directions without observations fall back to a unit pseudocost, so a
+        fully uninformed score degenerates to ``frac * (1 - frac)`` -- exactly
+        the classic most-fractional rule -- and information takes over
+        smoothly as it arrives.
+        """
+        down_avg = np.ones(candidates.size)
+        up_avg = np.ones(candidates.size)
+        cnt_down = self.counts[0, candidates]
+        cnt_up = self.counts[1, candidates]
+        seen_down = cnt_down > 0
+        seen_up = cnt_up > 0
+        down_avg[seen_down] = self.sums[0, candidates[seen_down]] / cnt_down[seen_down]
+        up_avg[seen_up] = self.sums[1, candidates[seen_up]] / cnt_up[seen_up]
+        down_est = np.maximum(down_avg * frac, 1e-6)
+        up_est = np.maximum(up_avg * (1.0 - frac), 1e-6)
+        result: np.ndarray = down_est * up_est
+        return result
 
 
 def _fractional_indices(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
@@ -145,19 +241,24 @@ def _make_node_solver(
     form: StandardForm,
     lp_solver: Optional[Callable[[StandardForm], Solution]],
     max_iter: Optional[int],
-) -> Callable[[np.ndarray, np.ndarray, object], Tuple[Solution, object]]:
+) -> Tuple[
+    Callable[[np.ndarray, np.ndarray, object], Tuple[Solution, object]],
+    Optional[object],
+]:
     """Build the per-node LP solver closure.
 
     Three flavors, in order of preference: a user-supplied callable (legacy
     interface, gets a re-bounded ``StandardForm``), SciPy's HiGHS with direct
     bound overrides, or the in-house :class:`~repro.optim.simplex.SimplexSolver`
-    with warm starts.
+    with warm starts.  The second element is the in-house simplex session on
+    that path (``None`` otherwise); the root cut loop reads the factorized
+    basis off it to separate Gomory cuts.
     """
     if lp_solver is not None:
         def solve_custom(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
             return lp_solver(_rebounded(form, lb, ub)), None
 
-        return solve_custom
+        return solve_custom, None
 
     from repro.optim import scipy_backend
 
@@ -165,7 +266,7 @@ def _make_node_solver(
         def solve_scipy(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
             return scipy_backend.solve_lp(form, lb=lb, ub=ub, max_iter=max_iter), None
 
-        return solve_scipy
+        return solve_scipy, None
 
     from repro.optim.simplex import SimplexSolver
 
@@ -174,7 +275,7 @@ def _make_node_solver(
     def solve_simplex(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
         return session.solve(lb=lb, ub=ub, warm_basis=warm)
 
-    return solve_simplex
+    return solve_simplex, session
 
 
 def solve_milp(
@@ -185,6 +286,8 @@ def solve_milp(
     mip_gap: Optional[float] = None,
     max_iter: Optional[int] = None,
     time_limit: Optional[float] = None,
+    cuts: str = "auto",
+    max_cut_rounds: int = 5,
 ) -> Solution:
     """Solve a mixed-integer program by branch and bound.
 
@@ -212,6 +315,13 @@ def solve_milp(
         Optional simplex iteration limit forwarded to every node LP solve.
     time_limit:
         Optional wall-clock limit in seconds.
+    cuts:
+        ``"auto"`` (default) enables the root cutting-plane loop and
+        per-node reduced-cost fixing; ``"off"`` disables both (used by the
+        feasibility probe and by differential tests needing a clean
+        baseline).
+    max_cut_rounds:
+        Maximum number of root separation rounds under ``cuts="auto"``.
 
     Returns
     -------
@@ -223,8 +333,35 @@ def solve_milp(
         set, subtrees fathomed by the relative-gap cutoff, so a gap-pruned
         "optimal" honestly reports how far from a proven optimum it may be.
     """
-    node_solver = _make_node_solver(form, lp_solver, max_iter)
+    if cuts not in ("auto", "off"):
+        raise SolverError(f"cuts must be 'auto' or 'off', got {cuts!r}")
+    node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter)
     sign = -1.0 if form.maximize else 1.0
+
+    # Cut-and-branch root loop: separate cover and (on the in-house simplex
+    # path) Gomory mixed-integer cuts against the root relaxation, append
+    # them to A_ub, rebuild the node solver over the extended form, repeat.
+    # Every cut is valid for the full integer hull, so the tree search below
+    # (including its rounding heuristic) runs unchanged over the new form.
+    if cuts == "auto" and np.any(np.asarray(form.integrality, dtype=bool)):
+        for _ in range(max_cut_rounds):
+            relax, basis = node_solver(form.lb, form.ub, None)
+            if relax.status is not SolveStatus.OPTIMAL:
+                break  # infeasible/unbounded roots are the main loop's business
+            x_root = np.array([relax.values[name] for name in form.names])
+            if _fractional_indices(x_root, form.integrality).size == 0:
+                break  # root already integral: no point cutting
+            new_cuts = separate_implied_cardinality_cuts(form, x_root)
+            new_cuts += separate_cover_cuts(form, x_root)
+            if simplex_session is not None:
+                lp = getattr(simplex_session, "_lp", None)
+                if isinstance(lp, _CanonicalLP) and isinstance(basis, _Basis):
+                    new_cuts += separate_gomory_cuts(lp, basis, form, x_root)
+            if not new_cuts:
+                break
+            form = append_cut_rows(form, new_cuts)
+            instr.add("cuts_added", len(new_cuts))
+            node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter)
 
     def relaxation_cost(solution: Solution) -> float:
         """LP objective in minimization sense (undo the model-sense flip)."""
@@ -262,11 +399,17 @@ def solve_milp(
             gap_tol=gap_tol,
             max_iter=max_iter,
             time_limit=remaining_time,
+            cuts="off",  # a zero objective makes every fractional point uncuttable
         )
         return probe.status
 
     root = _Node(bound=-math.inf, order=0, lb=form.lb.copy(), ub=form.ub.copy())
     integral_mask = np.asarray(form.integrality, dtype=bool)
+    pseudo = _Pseudocosts(form.c.size)
+    # Strong branching probes exist to estimate objective degradation; with a
+    # zero objective (the feasibility probe) every degradation is zero, so
+    # skip probing and let the score degenerate to most-fractional.
+    sb_budget = _SB_PROBE_BUDGET if np.any(form.c) else 0
     counter = itertools.count(1)
     heap: List[_Node] = [root]
     incumbent: Optional[Dict[str, float]] = None
@@ -293,6 +436,7 @@ def solve_milp(
                 gap_pruned_bound = min(gap_pruned_bound, node.bound)
             continue
         nodes_explored += 1
+        instr.add("bb_nodes")
 
         relax, basis = node_solver(node.lb, node.ub, node.warm_basis)
         if relax.status is SolveStatus.INFEASIBLE:
@@ -323,6 +467,8 @@ def solve_milp(
             )
 
         cost = relaxation_cost(relax)
+        if node.branch_var >= 0 and math.isfinite(node.parent_cost):
+            pseudo.observe(node.branch_var, node.branch_up, cost - node.parent_cost, node.branch_frac)
         if cost >= cutoff():
             if mip_gap is not None:
                 gap_pruned_bound = min(gap_pruned_bound, cost)
@@ -343,26 +489,114 @@ def solve_milp(
             incumbent_cost, cand = rounded
             incumbent = {name: float(cand[i]) for i, name in enumerate(form.names)}
 
-        # Branch on the most fractional variable (value closest to 0.5 away
-        # from either neighbouring integer).
-        frac = x[fractional] - np.floor(x[fractional])
-        branch_var = int(fractional[np.argmin(np.abs(frac - 0.5))])
-        floor_val = math.floor(x[branch_var] + INT_TOL)
-
-        down_lb, down_ub = node.lb.copy(), node.ub.copy()
-        down_ub[branch_var] = min(down_ub[branch_var], floor_val)
-        up_lb, up_ub = node.lb.copy(), node.ub.copy()
-        up_lb[branch_var] = max(up_lb[branch_var], floor_val + 1)
-
-        if down_lb[branch_var] <= down_ub[branch_var]:
-            heapq.heappush(
-                heap,
-                _Node(bound=cost, order=next(counter), lb=down_lb, ub=down_ub, warm_basis=basis),
+        # Reduced-cost fixing: with an incumbent in hand, nonbasic integer
+        # variables whose reduced cost prices any move off their bound above
+        # the remaining gap get their opposite bound pulled in, shrinking
+        # both children (and sometimes fixing the variable outright).
+        if cuts == "auto" and incumbent_cost < math.inf:
+            node.lb, node.ub, n_rc_fixed = reduced_cost_fixing(
+                x, relax.reduced_costs, node.lb, node.ub, form.integrality, cutoff() - cost
             )
-        if up_lb[branch_var] <= up_ub[branch_var]:
+            if n_rc_fixed:
+                instr.add("rc_fixings", n_rc_fixed)
+
+        frac = x[fractional] - np.floor(x[fractional])
+
+        # Reliability initialization: while a fractional variable has an
+        # unobserved branching direction, measure it directly by solving the
+        # two child LPs (warm-started off this node's basis, so each probe is
+        # typically a handful of dual pivots).  Probe outcomes double as
+        # exact child bounds: an infeasible or above-cutoff side is fathomed
+        # without ever becoming a node, and a surviving side enters the heap
+        # with its true LP bound and its own repaired basis.
+        probe_results: Dict[int, List[Optional[Tuple[float, object]]]] = {}
+        if sb_budget > 0:
+            centrality = np.argsort(np.abs(frac - 0.5), kind="stable")
+            needs_init = [
+                int(j) for j in fractional[centrality] if not pseudo.initialized(int(j))
+            ]
+            for j in needs_init[:_SB_PROBES_PER_NODE]:
+                if sb_budget <= 0:
+                    break
+                floor_j = math.floor(x[j] + INT_TOL)
+                frac_j = x[j] - floor_j
+                outcomes: List[Optional[Tuple[float, object]]] = [None, None]
+                for up in (False, True):
+                    probe_lb, probe_ub = node.lb.copy(), node.ub.copy()
+                    if up:
+                        probe_lb[j] = max(probe_lb[j], floor_j + 1)
+                    else:
+                        probe_ub[j] = min(probe_ub[j], floor_j)
+                    if probe_lb[j] > probe_ub[j]:
+                        outcomes[int(up)] = (math.inf, None)  # empty side
+                        continue
+                    child, child_basis = node_solver(probe_lb, probe_ub, basis)
+                    sb_budget -= 1
+                    instr.add("strong_branch_probes")
+                    if child.status is SolveStatus.INFEASIBLE:
+                        outcomes[int(up)] = (math.inf, None)
+                        continue
+                    if child.status is not SolveStatus.OPTIMAL:
+                        continue  # limit hit: no information, side stays unobserved
+                    child_cost = relaxation_cost(child)
+                    distance = 1.0 - frac_j if up else frac_j
+                    pseudo.observe(j, up, child_cost - cost, distance)
+                    outcomes[int(up)] = (child_cost, child_basis)
+                probe_results[j] = outcomes
+
+        # Select the branching variable by pseudocost product score; a probe
+        # that proved one side infeasible trumps everything (branching there
+        # immediately halves the subtree).
+        scores = pseudo.scores(fractional, frac)
+        position = {int(j): k for k, j in enumerate(fractional)}
+        for j, outcomes in probe_results.items():
+            if any(o is not None and math.isinf(o[0]) for o in outcomes):
+                scores[position[j]] = math.inf
+        branch_var = int(fractional[int(np.argmax(scores))])
+        floor_val = math.floor(x[branch_var] + INT_TOL)
+        branch_frac = x[branch_var] - floor_val
+        branch_outcomes = probe_results.get(branch_var)
+
+        for up in (False, True):
+            child_lb, child_ub = node.lb.copy(), node.ub.copy()
+            if up:
+                child_lb[branch_var] = max(child_lb[branch_var], floor_val + 1)
+            else:
+                child_ub[branch_var] = min(child_ub[branch_var], floor_val)
+            if child_lb[branch_var] > child_ub[branch_var]:
+                continue
+            child_bound = cost
+            child_warm = basis
+            probed = False
+            outcome = branch_outcomes[int(up)] if branch_outcomes is not None else None
+            if outcome is not None:
+                probe_cost, probe_basis = outcome
+                if math.isinf(probe_cost):
+                    continue  # probe proved this side infeasible
+                if probe_cost >= cutoff():
+                    if mip_gap is not None:
+                        gap_pruned_bound = min(gap_pruned_bound, probe_cost)
+                    continue
+                child_bound = probe_cost
+                if probe_basis is not None:
+                    child_warm = probe_basis
+                probed = True
             heapq.heappush(
                 heap,
-                _Node(bound=cost, order=next(counter), lb=up_lb, ub=up_ub, warm_basis=basis),
+                _Node(
+                    bound=child_bound,
+                    order=next(counter),
+                    lb=child_lb,
+                    ub=child_ub,
+                    warm_basis=child_warm,
+                    branch_var=branch_var,
+                    branch_up=up,
+                    # Probed children already fed the pseudocosts; NaN stops
+                    # their eventual node solve from re-recording the same
+                    # observation.
+                    parent_cost=math.nan if probed else cost,
+                    branch_frac=1.0 - branch_frac if up else branch_frac,
+                ),
             )
 
     if incumbent is None:

@@ -35,6 +35,14 @@ COUNTER_NAMES = (
     "peak_nnz",           # peak stored nonzeros (canonical matrix + eta file)
     "analyzer_runs",      # pre-solve static analyzer passes executed
     "analyzer_findings",  # diagnostics emitted across those passes
+    "bb_nodes",           # branch-and-bound nodes explored
+    "presolve_rows_removed",    # constraint rows eliminated by presolve
+    "presolve_cols_fixed",      # variables fixed/eliminated by presolve
+    "presolve_coeffs_tightened",  # coefficients strengthened by presolve
+    "cuts_added",         # cutting planes appended by the cut loop
+    "rc_fixings",         # reduced-cost bound tightenings applied at nodes
+    "dual_bound_flips",   # entering-variable bound flips in the dual ratio test
+    "strong_branch_probes",  # child-LP probes made to initialize pseudocosts
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}

@@ -95,12 +95,24 @@ def solve_lp(
     if status is not SolveStatus.OPTIMAL:
         return Solution(status=status, backend="scipy-linprog")
     values = {name: float(res.x[i]) for i, name in enumerate(form.names)}
+    # Reduced costs (min-sense): HiGHS reports them as the bound multipliers.
+    # A variable rests on at most one bound at optimality, so the sum is its
+    # reduced cost; guarded because older SciPy builds omit the marginals.
+    reduced_costs = None
+    lower = getattr(res, "lower", None)
+    upper = getattr(res, "upper", None)
+    if lower is not None and upper is not None:
+        lo_m = getattr(lower, "marginals", None)
+        up_m = getattr(upper, "marginals", None)
+        if lo_m is not None and up_m is not None:
+            reduced_costs = np.asarray(lo_m, dtype=float) + np.asarray(up_m, dtype=float)
     return Solution(
         status=status,
         objective=form.objective_value(res.x),
         values=values,
         backend="scipy-linprog",
         iterations=int(getattr(res, "nit", 0) or 0),
+        reduced_costs=reduced_costs,
     )
 
 

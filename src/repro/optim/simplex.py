@@ -599,34 +599,68 @@ def _dual_iterations(
         if idx.size == 0:
             return "infeasible", iterations
         ratios = np.abs(d[idx]) / np.abs(alpha[idx])
-        ties = idx[ratios <= ratios.min() + EPS]
-        q = int(ties[0])
-
-        col = A.gather_col(q, np.zeros(m))
-        w = state.factor.ftran(col)
-        if abs(w[r]) < 1e-11:
-            return "stalled", iterations
+        order = idx[np.argsort(ratios, kind="stable")]
         target = lB[r] if below_case else uB[r]
-        t = (state.xB[r] - target) / w[r]
-        enter_from = state.lower_ext[q] if state.vstat[q] == AT_LOWER else state.upper_ext[q]
-        leaving = int(state.basis[r])
-        state.xB -= t * w
-        state.xB[r] = enter_from + t
-        state.vstat[leaving] = AT_LOWER if below_case else AT_UPPER
-        state.vstat[q] = BASIC
-        state.basis[r] = q
-        state.factor.update(r, w)
-        # Incremental dual-price update: d_j' = d_j - theta * alpha_j with
-        # theta = d_q / alpha_q; the entering column becomes basic (d = 0)
-        # and the leaving variable's price is exactly -theta.
-        theta = d[q] / alpha[q]
-        if theta != 0.0:
-            d -= theta * alpha
-        d[q] = 0.0
-        if leaving < n_cols:
-            d[leaving] = -theta
-        iterations += 1
-        instr.add("dual_pivots")
+
+        # Bound-flipping ratio test.  Candidates are visited in ascending
+        # ratio order; one whose own range is shorter than the step the
+        # leaving row still needs would, if pivoted in, park the new basic
+        # variable outside its box -- the degenerate-overshoot stall.  It is
+        # *flipped* to its opposite bound instead (no pivot, no eta): the row
+        # violation shrinks by range * |w[r]| and the candidate is consumed.
+        # Because every flipped candidate's ratio is below the eventual pivot
+        # ratio, the closing pivot's price update gives each flipped column
+        # exactly the reduced-cost sign its new bound requires, so dual
+        # feasibility survives.  The sequence must end in a real pivot: if
+        # the candidates run out, or a flip alone drops the row inside its
+        # bounds, the flipped columns' prices are left inconsistent, so we
+        # return "stalled" and let the caller cold-solve.
+        pivoted = False
+        for q_raw in order:
+            q = int(q_raw)
+            col = A.gather_col(q, np.zeros(m))
+            w = state.factor.ftran(col)
+            if abs(w[r]) < 1e-11:
+                return "stalled", iterations
+            t = (state.xB[r] - target) / w[r]
+            range_q = state.upper_ext[q] - state.lower_ext[q]
+            if math.isfinite(range_q) and abs(t) > range_q + EPS:
+                delta = range_q if t > 0 else -range_q
+                state.xB -= delta * w
+                state.vstat[q] = AT_UPPER if state.vstat[q] == AT_LOWER else AT_LOWER
+                iterations += 1
+                instr.add("dual_bound_flips")
+                still_violated = (
+                    state.xB[r] < lB[r] - _WARM_FEAS_TOL
+                    if below_case
+                    else state.xB[r] > uB[r] + _WARM_FEAS_TOL
+                )
+                if not still_violated or iterations >= max_iter:
+                    return "stalled", iterations
+                continue
+            enter_from = state.lower_ext[q] if state.vstat[q] == AT_LOWER else state.upper_ext[q]
+            leaving = int(state.basis[r])
+            state.xB -= t * w
+            state.xB[r] = enter_from + t
+            state.vstat[leaving] = AT_LOWER if below_case else AT_UPPER
+            state.vstat[q] = BASIC
+            state.basis[r] = q
+            state.factor.update(r, w)
+            # Incremental dual-price update: d_j' = d_j - theta * alpha_j with
+            # theta = d_q / alpha_q; the entering column becomes basic (d = 0)
+            # and the leaving variable's price is exactly -theta.
+            theta = d[q] / alpha[q]
+            if theta != 0.0:
+                d -= theta * alpha
+            d[q] = 0.0
+            if leaving < n_cols:
+                d[leaving] = -theta
+            iterations += 1
+            instr.add("dual_pivots")
+            pivoted = True
+            break
+        if not pivoted:
+            return "stalled", iterations
     return "stalled", iterations
 
 
@@ -902,7 +936,16 @@ class SimplexSolver:
                 raise SolverError(f"basis became numerically singular: {exc}") from None
         status, y, iterations, token = result
         instr.add("lp_solves")
-        return _solution_from_canonical(self.form, lp, status, y, iterations), token
+        solution = _solution_from_canonical(self.form, lp, status, y, iterations)
+        if solution.status is SolveStatus.OPTIMAL and token is not None and token.factor is not None:
+            # Post-optimal reduced costs in the original variable space
+            # (min-sense): price once against the final factorization.  For a
+            # split free variable the plus part's price is the variable's.
+            costs_ext = np.concatenate((lp.c, np.zeros(lp.m)))
+            y_dual = token.factor.btran(costs_ext[token.basis])
+            d_canon = lp.c - lp.A.rmatvec(y_dual)
+            solution.reduced_costs = d_canon[lp.plus_index]
+        return solution, token
 
 
 def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:

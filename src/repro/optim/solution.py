@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.optim._types import FloatArray
 
 
 class SolveStatus(enum.Enum):
@@ -45,6 +48,11 @@ class Solution:
     gap:
         Relative optimality gap for MILP solves that stopped at a limit;
         0.0 for proven optima.
+    reduced_costs:
+        Optional per-variable reduced costs of an optimal LP basis, in the
+        *minimization* sense and aligned with the form's variable order.
+        Populated by the in-house simplex and the SciPy LP backend; consumed
+        by branch-and-bound's reduced-cost variable fixing.
     """
 
     status: SolveStatus
@@ -53,6 +61,7 @@ class Solution:
     backend: str = ""
     iterations: int = 0
     gap: float = 0.0
+    reduced_costs: Optional["FloatArray"] = None
 
     @property
     def is_optimal(self) -> bool:

@@ -100,9 +100,16 @@ class TestFormMutation:
         )
         assert lint_source(src, "src/repro/optim/backend.py") == []
 
+    def test_reduced_form_owners_flagged(self):
+        # ReducedForm (the presolve output) backs the Postsolve mapping: its
+        # arrays are covered under the reduced / _reduced owner names.
+        assert _rules("reduced.b_ub[0] = 1.0") == ["SOLV004"]
+        assert _rules("self._reduced.ub[j] -= 1.0") == ["SOLV004"]
+
     def test_non_form_subscript_not_flagged(self):
         assert _rules("table.c[0] = 1.0") == []
         assert _rules("form.data[0] = 1.0") == []
+        assert _rules("reduction.c[0] = 1.0") == []
 
     def test_whole_attribute_rebind_not_flagged(self):
         # Rebinding the attribute itself is lowering, not in-place patching.

@@ -147,6 +147,70 @@ class TestMILPDifferential:
         self._run(80, seed=478)
 
 
+class TestPresolveCutsDifferential:
+    """Presolve and cutting planes are transforms, not relaxations: with them
+    on or off, every status and objective must still match HiGHS exactly."""
+
+    def test_presolve_on_off_agree_on_random_lps(self):
+        from repro.optim import solve_model
+        from repro.optim.presolve import presolve
+
+        rng = np.random.default_rng(20260808)
+        checked = 0
+        for _ in range(80):
+            model = _random_model(rng, mip=False)
+            form = model.to_standard_form()
+            reference = scipy_backend.solve_lp(form)
+            if reference.status not in (
+                SolveStatus.OPTIMAL,
+                SolveStatus.INFEASIBLE,
+                SolveStatus.UNBOUNDED,
+            ):
+                continue
+            on = solve_model(model, backend="simplex", presolve="on")
+            off = solve_model(model, backend="simplex", presolve="off")
+            _assert_matches(on, reference, f"LP presolve=on #{checked}")
+            _assert_matches(off, reference, f"LP presolve=off #{checked}")
+            if reference.status is SolveStatus.OPTIMAL:
+                # The lifted point must satisfy the *original* rows, not just
+                # reproduce the objective.
+                x = np.array([on.values[name] for name in form.names])
+                if form.b_ub.size:
+                    assert np.all(form.A_ub.matvec(x) <= form.b_ub + 1e-6)
+                if form.b_eq.size:
+                    assert np.max(np.abs(form.A_eq.matvec(x) - form.b_eq)) <= 1e-6
+            # presolve alone must never mislabel feasibility
+            red, _ = presolve(form)
+            if red.proven_infeasible:
+                assert reference.status is SolveStatus.INFEASIBLE
+            checked += 1
+        assert checked >= 40
+
+    def test_presolve_and_cuts_agree_on_random_milps(self, monkeypatch):
+        from repro.optim import solve_model
+
+        monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        rng = np.random.default_rng(6061)
+        checked = 0
+        for _ in range(60):
+            model = _random_model(rng, mip=True)
+            form = model.to_standard_form()
+            # solve_mip talks to scipy directly; the is_available monkeypatch
+            # only steers the branch-and-bound node solver in-house.
+            reference = scipy_backend.solve_mip(form)
+            if reference.status not in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+                continue
+            for options in (
+                {"presolve": "on", "cuts": "auto"},
+                {"presolve": "off", "cuts": "auto"},
+                {"presolve": "on", "cuts": "off"},
+            ):
+                ours = solve_model(model, backend="branch-and-bound", **options)
+                _assert_matches(ours, reference, f"MILP #{checked} {options}")
+            checked += 1
+        assert checked >= 30
+
+
 class TestSessionDifferential:
     def test_incremental_updates_match_fresh_lowering(self):
         """Random rhs/coefficient/objective updates through a SolverSession

@@ -3,6 +3,11 @@
 import pytest
 
 from repro.optim import Model, Solution, SolveStatus, lin_sum
+from repro.optim import scipy_backend
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_backend.is_available(), reason="requests the scipy backend explicitly"
+)
 
 
 class TestSolveStatus:
@@ -41,11 +46,13 @@ class TestSolverOptions:
         model.set_objective(lin_sum(xs))
         return model
 
+    @needs_scipy
     def test_time_limit_option_accepted(self):
         model = self._placement_like_model()
         solution = model.solve(backend="scipy", time_limit=10.0)
         assert solution.objective == pytest.approx(3.0)
 
+    @needs_scipy
     def test_mip_gap_option_accepted(self):
         model = self._placement_like_model()
         solution = model.solve(backend="scipy", mip_gap=0.05)

@@ -296,8 +296,10 @@ class TestMilpStatusEdges:
         # Exactly one node explored (the fractional root): the limit must
         # yield NODE_LIMIT -- before the fix the frontier node popped at the
         # limit was discarded and the result could read INFEASIBLE/OPTIMAL.
+        # cuts="off" keeps the root fractional (the cut loop would close
+        # this knapsack at the root without exploring any node).
         form = _fractional_root_mip().to_standard_form()
-        sol = solve_milp(form, max_nodes=1)
+        sol = solve_milp(form, max_nodes=1, cuts="off")
         assert sol.status is SolveStatus.NODE_LIMIT
         assert sol.iterations == 1
 

@@ -26,7 +26,12 @@ SOLV004  no direct mutation of ``StandardForm`` arrays
     Writing into ``form.c`` / ``form.A_ub`` / ``form.b_ub`` / ``form.A_eq``
     / ``form.b_eq`` / ``form.lb`` / ``form.ub`` outside the
     ``SolverSession`` patch methods bypasses the dirty-tracking that keeps
-    warm starts and the analyzer consistent with the matrices.
+    warm starts and the analyzer consistent with the matrices.  The rule
+    covers ``ReducedForm`` (the presolve output, a ``StandardForm``
+    subclass) under the ``reduced`` / ``_reduced`` owner names too: a
+    reduced form is a *rebuilt* snapshot whose arrays feed
+    :class:`repro.optim.presolve.Postsolve`, so patching them in place
+    would desynchronize the postsolve mapping.
 
 Usage::
 
@@ -56,6 +61,11 @@ DENSIFY_ALLOWLIST: Tuple[Tuple[str, str], ...] = (
 #: Attribute names of StandardForm whose arrays must only be patched through
 #: SolverSession.
 FORM_ARRAY_ATTRS = frozenset({"c", "A_ub", "b_ub", "A_eq", "b_eq", "lb", "ub"})
+
+#: Variable / attribute names treated as StandardForm owners by SOLV004.
+#: ``reduced`` / ``_reduced`` cover :class:`repro.optim.presolve.ReducedForm`,
+#: whose arrays back the postsolve mapping and must stay frozen.
+FORM_OWNER_NAMES = ("form", "_form", "reduced", "_reduced")
 
 #: Scope allowed to mutate StandardForm arrays in place.
 FORM_MUTATION_ALLOWLIST: Tuple[Tuple[str, str], ...] = (
@@ -201,8 +211,8 @@ class _SolverLinter(ast.NodeVisitor):
         if not (isinstance(attr, ast.Attribute) and attr.attr in FORM_ARRAY_ATTRS):
             return
         owner = attr.value
-        owner_is_form = (isinstance(owner, ast.Name) and owner.id in ("form", "_form")) or (
-            isinstance(owner, ast.Attribute) and owner.attr in ("form", "_form")
+        owner_is_form = (isinstance(owner, ast.Name) and owner.id in FORM_OWNER_NAMES) or (
+            isinstance(owner, ast.Attribute) and owner.attr in FORM_OWNER_NAMES
         )
         if owner_is_form and not _in_allowlist(self.path, self.scopes, FORM_MUTATION_ALLOWLIST):
             self._report(
