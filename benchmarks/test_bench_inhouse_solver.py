@@ -15,16 +15,19 @@ over a minute; set ``REPRO_BENCH_FULL=1`` to include it.
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from unittest import mock
 
 import pytest
 
 from repro.experiments import ExperimentConfig, figure7_passive_pop10
+from repro.optim import SolveStatus
 from repro.optim import instrumentation as instr
 from repro.optim import scipy_backend
 from repro.passive.costs import uniform_costs
-from repro.passive.sampling import SamplingProblem, solve_ppme
+from repro.passive.sampling import SamplingProblem, _build_ppme_model, solve_ppme
 from repro.topology import paper_pop
 from repro.traffic import generate_traffic_matrix
 
@@ -95,6 +98,50 @@ def test_gate_inhouse_ppme_node_count(benchmark):
         "check the presolve reductions, implied cardinality cuts and "
         "pseudocost branching before raising the budget"
     )
+
+
+#: Wall-clock budget for the resilience gate below.  The full 132-traffic
+#: PPME MILP takes several times this on the in-house stack, so the solve
+#: reliably runs out of budget -- which is the point: the gate checks that
+#: the shared Deadline actually stops every layer (presolve, root cuts,
+#: node LPs, the node loop) close to the budget instead of overshooting.
+_TIME_LIMIT_GATE_SECONDS = 2.0
+
+
+def test_gate_inhouse_ppme_time_limit(benchmark):
+    """Deadline-honesty gate on the full 132-traffic PPME MILP.
+
+    With ``time_limit`` set well under the full solve time, the in-house
+    branch and bound must (a) return within 2x the budget -- the deadline is
+    checked between pivots and nodes, so some overshoot is expected but not
+    multiples -- and (b) report the honest ``TIME_LIMIT`` status with the
+    best incumbent and a finite gap, never ``NODE_LIMIT`` and never a bare
+    failure.
+    """
+    problem = _ppme_problem()
+
+    def run():
+        model, _x, _r, _delta = _build_ppme_model(problem)
+        with mock.patch.object(scipy_backend, "is_available", lambda: False):
+            start = time.perf_counter()
+            solution = model.solve(
+                backend="branch-and-bound", time_limit=_TIME_LIMIT_GATE_SECONDS
+            )
+            return solution, time.perf_counter() - start
+
+    solution, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nin-house PPME MILP time-limit gate: status={solution.status.name} "
+        f"elapsed={elapsed:.2f}s budget={_TIME_LIMIT_GATE_SECONDS:.1f}s "
+        f"gap={solution.gap}"
+    )
+    assert solution.status is SolveStatus.TIME_LIMIT
+    assert elapsed <= 2.0 * _TIME_LIMIT_GATE_SECONDS, (
+        f"solve with a {_TIME_LIMIT_GATE_SECONDS:.1f}s time_limit took "
+        f"{elapsed:.2f}s; the deadline is not being honored by some layer"
+    )
+    assert solution.values, "time-limited solve should return the incumbent"
+    assert solution.gap is not None and math.isfinite(solution.gap)
 
 
 @pytest.mark.skipif(

@@ -58,6 +58,8 @@ def _cmd_passive(args: argparse.Namespace) -> int:
     solver_options = {}
     if args.time_limit is not None:
         solver_options["time_limit"] = args.time_limit
+    if args.fallback != "off":
+        solver_options["fallback"] = args.fallback
     ilp = solve_ilp(problem, **solver_options)
     print(f"ilp   : {ilp.num_devices} devices (coverage {ilp.coverage:.1%})")
     for link in ilp.monitored_links:
@@ -151,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of the traffic to monitor (default: 0.95)")
     passive.add_argument("--time-limit", type=float, default=None,
                          help="optional MIP time limit in seconds")
+    passive.add_argument("--fallback", choices=("off", "auto"), default="off",
+                         help="fail over to another backend (then a greedy "
+                              "heuristic) when the solver errors out "
+                              "(default: off)")
     passive.set_defaults(func=_cmd_passive)
 
     active = subparsers.add_parser("active", help="compute probes and place beacons")

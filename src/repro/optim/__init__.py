@@ -39,16 +39,57 @@ CPLEX plays in the original article:
 * :mod:`repro.optim.cuts` -- cover and Gomory mixed-integer cutting planes
   separated at the branch-and-bound root (cut-and-branch), plus node-level
   reduced-cost bound fixing (``cuts="auto"|"off"``, ``max_cut_rounds``).
+* :mod:`repro.optim.resilience` -- the resilient-solve layer: a monotonic
+  :class:`~repro.optim.resilience.Deadline` created once per solve and
+  threaded through presolve, simplex, cut separation and branch and bound;
+  recovery-rung bookkeeping (:func:`~repro.optim.resilience.record_rung`);
+  and the greedy degradation heuristic that backs the ``fallback="auto"``
+  option.
+* :mod:`repro.optim.faultinject` -- a deterministic, seeded fault-injection
+  harness for testing the resilience machinery (fail the Nth factorization,
+  corrupt a pivot column, take a backend down, jump the deadline clock);
+  completely inert -- a single module-flag check -- unless a test arms a
+  :class:`~repro.optim.faultinject.FaultPlan`.
 
 Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
-``gap_tol``) use one unified vocabulary; the matrix of which backend honors
-which option lives in :data:`repro.optim.backend.BACKEND_OPTIONS`, and
-unknown option names raise :class:`~repro.optim.errors.SolverError`.  For
-parameterized experiments that re-solve one model under drifting data, lower
-it once with :class:`~repro.optim.backend.SolverSession` (or
+``gap_tol``, ``fallback``) use one unified vocabulary; the matrix of which
+backend honors which option lives in
+:data:`repro.optim.backend.BACKEND_OPTIONS`, and unknown option names raise
+:class:`~repro.optim.errors.SolverError`.  For parameterized experiments
+that re-solve one model under drifting data, lower it once with
+:class:`~repro.optim.backend.SolverSession` (or
 :meth:`Model.session <repro.optim.model.Model.session>`) and patch
 coefficients / right-hand sides / bounds in place between warm-started
 re-solves.
+
+Solve statuses
+--------------
+
+Every backend reports through the one :class:`SolveStatus` enum; limit
+statuses are never conflated (hitting the wall clock is ``TIME_LIMIT``,
+exhausting the node budget is ``NODE_LIMIT``):
+
+===================  ======================================================
+Status               Meaning
+===================  ======================================================
+``OPTIMAL``          Proven optimal for the given tolerances.
+``FEASIBLE``         A feasible point with no optimality proof (greedy
+                     degradation rung).
+``INFEASIBLE``       Proven infeasible.
+``UNBOUNDED``        Proven unbounded.
+``ITERATION_LIMIT``  Simplex ``max_iter`` exhausted.
+``NODE_LIMIT``       Branch-and-bound ``max_nodes`` exhausted; best
+                     incumbent and gap reported.
+``TIME_LIMIT``       ``time_limit`` wall-clock budget exhausted (any
+                     layer); best incumbent and gap reported.
+``ERROR``            The backend failed outright; with ``fallback="auto"``
+                     the dispatcher fails over instead of returning this.
+===================  ======================================================
+
+A failed-over :class:`Solution` carries a :class:`Degradation` record
+(``solution.degradation``) naming each hop taken, the guarantee that
+survives (``"optimal"``, ``"bounded-gap"`` or ``"feasible-only"``) and the
+error messages that forced the failover.
 
 The public entry point is :class:`repro.optim.model.Model`:
 
@@ -72,14 +113,19 @@ from repro.optim.errors import (
     UnboundedError,
 )
 from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
-from repro.optim.solution import Solution, SolveStatus
+from repro.optim.solution import Degradation, Solution, SolveStatus
 from repro.optim.analysis import Diagnostic, analyze_form
 from repro.optim.backend import SolverSession, available_backends, solve_model
+from repro.optim.faultinject import FaultPlan
 from repro.optim.presolve import Postsolve, ReducedForm, presolve
+from repro.optim.resilience import Deadline
 
 __all__ = [
     "Constraint",
+    "Deadline",
+    "Degradation",
     "Diagnostic",
+    "FaultPlan",
     "InfeasibleError",
     "InternalSolverError",
     "LinExpr",

@@ -21,7 +21,7 @@ being silently dropped:
 ==================  ========  =========  ==================
 Option              scipy     simplex    branch-and-bound
 ==================  ========  =========  ==================
-``time_limit``      yes       --         yes
+``time_limit``      yes       yes        yes
 ``mip_gap``         yes(MIP)  --         yes
 ``max_iter``        yes(LP)   yes        yes (node LPs)
 ``max_nodes``       --        --         yes
@@ -30,12 +30,29 @@ Option              scipy     simplex    branch-and-bound
 ``presolve``        yes       yes        yes
 ``cuts``            --        --         yes
 ``max_cut_rounds``  --        --         yes
+``fallback``        yes       yes        yes
 ==================  ========  =========  ==================
 
 ``mip_gap`` is a *relative* optimality gap everywhere (HiGHS
 ``mip_rel_gap`` semantics); ``gap_tol`` is the in-house branch-and-bound's
 absolute fathoming tolerance.  ``max_iter`` bounds simplex iterations, and on
 the branch-and-bound backend it is forwarded to every node LP solve.
+
+``time_limit`` (seconds, positive and finite -- anything else raises
+``ValueError`` at option-checking time) is turned into a single
+:class:`repro.optim.resilience.Deadline` here in the dispatcher and threaded
+through presolve, cut separation and the backend's own iteration loops, so
+every layer agrees on when the budget expires.  A solve that runs out of
+budget returns the best incumbent found so far with the honest status
+``TIME_LIMIT`` (never conflated with ``NODE_LIMIT``).
+
+``fallback`` (``"off"`` by default, ``"auto"`` to enable) arms backend
+failover: when the resolved backend raises :class:`SolverError` or returns
+an ``ERROR`` status, the dispatcher retries the same lowered form on the
+other solver family (``scipy`` <-> in-house), and as a last resort degrades
+to :func:`repro.optim.resilience.greedy_form_solve`.  A failed-over solution
+carries a :class:`repro.optim.solution.Degradation` record naming each hop,
+the weakened guarantee, and the error messages that forced it.
 
 ``presolve`` (``"on"`` by default, ``"off"`` to disable) runs
 :func:`repro.optim.presolve.presolve` over the lowered form before any
@@ -69,15 +86,18 @@ start; sessions still avoid the model re-lowering cost there.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.optim import analysis
+from repro.optim import faultinject
 from repro.optim._types import FloatArray
 from repro.optim.errors import InfeasibleError, ModelError, SolverError, UnboundedError
 from repro.optim.model import Model, StandardForm, Variable
-from repro.optim.solution import Solution, SolveStatus
+from repro.optim.resilience import Deadline, greedy_form_solve, record_rung
+from repro.optim.solution import Degradation, Solution, SolveStatus
 from repro.optim.sparse import SparseMatrix, is_sparse
 
 if TYPE_CHECKING:  # pragma: no cover - types only (simplex is imported lazily)
@@ -90,8 +110,10 @@ BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
 #: ``check`` is handled by the dispatcher itself and is therefore valid for
 #: every backend.
 BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
-    "scipy": frozenset({"time_limit", "mip_gap", "max_iter", "check", "presolve"}),
-    "simplex": frozenset({"max_iter", "check", "presolve"}),
+    "scipy": frozenset(
+        {"time_limit", "mip_gap", "max_iter", "check", "presolve", "fallback"}
+    ),
+    "simplex": frozenset({"max_iter", "time_limit", "check", "presolve", "fallback"}),
     "branch-and-bound": frozenset(
         {
             "max_nodes",
@@ -103,6 +125,7 @@ BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
             "presolve",
             "cuts",
             "max_cut_rounds",
+            "fallback",
         }
     ),
 }
@@ -132,13 +155,32 @@ def _resolve_backend(backend: str, is_mip: bool) -> str:
 
 
 def _check_options(backend: str, options: Dict[str, Any]) -> None:
-    """Reject option names the resolved backend does not honor."""
+    """Reject option names the resolved backend does not honor.
+
+    ``time_limit`` values are validated here as well -- a zero, negative or
+    non-finite budget is always a caller bug, and catching it before any
+    solver starts beats a deadline that is born expired (or never expires).
+    """
     unknown = set(options) - BACKEND_OPTIONS[backend]
     if unknown:
         raise SolverError(
             f"backend {backend!r} does not recognize option(s) {sorted(unknown)}; "
             f"it honors {sorted(BACKEND_OPTIONS[backend])}"
         )
+    time_limit = options.get("time_limit")
+    if time_limit is not None:
+        try:
+            value = float(time_limit)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"time_limit must be a positive finite number of seconds, "
+                f"got {time_limit!r}"
+            ) from None
+        if not math.isfinite(value) or value <= 0.0:
+            raise ValueError(
+                f"time_limit must be a positive finite number of seconds, "
+                f"got {time_limit!r}"
+            )
 
 
 def _pop_check_mode(options: Dict[str, Any]) -> str:
@@ -156,6 +198,14 @@ def _pop_presolve_mode(options: Dict[str, Any]) -> str:
     mode = options.pop("presolve", "on")
     if mode not in ("on", "off"):
         raise SolverError(f"presolve option must be 'on' or 'off', got {mode!r}")
+    return str(mode)
+
+
+def _pop_fallback_mode(options: Dict[str, Any]) -> str:
+    """Extract and validate the dispatcher-level ``fallback`` option."""
+    mode = options.pop("fallback", "off")
+    if mode not in ("off", "auto"):
+        raise SolverError(f"fallback option must be 'off' or 'auto', got {mode!r}")
     return str(mode)
 
 
@@ -177,14 +227,20 @@ def _solve_form(
     """
     options = dict(options)
     presolve_mode = _pop_presolve_mode(options)
+    fallback_mode = _pop_fallback_mode(options)
+    time_limit = options.pop("time_limit", None)
+    deadline = Deadline(time_limit) if time_limit is not None else None
+    dispatch = _run_with_failover if fallback_mode == "auto" else _dispatch_form
     if presolve_mode == "off" or len(form.names) != form.num_vars:
         # Forms without a full name vector cannot round-trip through the
         # value dict; solve them directly.
-        return _dispatch_form(form, is_mip, backend, options)
+        return dispatch(form, is_mip, backend, options, deadline)
 
     from repro.optim.presolve import presolve as run_presolve
 
-    reduced, post = run_presolve(form, integer_aware=is_mip and backend != "simplex")
+    reduced, post = run_presolve(
+        form, integer_aware=is_mip and backend != "simplex", deadline=deadline
+    )
     if reduced.proven_infeasible:
         return Solution(status=SolveStatus.INFEASIBLE, backend="presolve")
     if reduced.num_vars == 0:
@@ -198,7 +254,7 @@ def _solve_form(
             values=values,
             backend="presolve",
         )
-    return post.restore(_dispatch_form(reduced, is_mip, backend, options))
+    return post.restore(dispatch(reduced, is_mip, backend, options, deadline))
 
 
 def _dispatch_form(
@@ -206,28 +262,34 @@ def _dispatch_form(
     is_mip: bool,
     backend: str,
     options: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
 ) -> Solution:
     """Dispatch an already-lowered ``StandardForm`` to a concrete backend."""
+    if faultinject.ACTIVE:
+        faultinject.maybe_fail_backend(backend, SolverError)
     if backend == "scipy":
         from repro.optim import scipy_backend
 
         if not scipy_backend.is_available():
             raise SolverError("scipy backend requested but scipy is not importable")
+        remaining = deadline.remaining_or_none() if deadline is not None else None
         if is_mip:
             return scipy_backend.solve_mip(
                 form,
-                time_limit=options.get("time_limit"),
+                time_limit=remaining,
                 mip_gap=options.get("mip_gap"),
             )
         return scipy_backend.solve_lp(
             form,
             max_iter=options.get("max_iter"),
-            time_limit=options.get("time_limit"),
+            time_limit=remaining,
         )
     if backend == "simplex":
         from repro.optim.simplex import solve_standard_form
 
-        return solve_standard_form(form, max_iter=options.get("max_iter", 100_000))
+        return solve_standard_form(
+            form, max_iter=options.get("max_iter", 100_000), deadline=deadline
+        )
     # branch-and-bound
     from repro.optim.branch_and_bound import solve_milp
 
@@ -242,10 +304,91 @@ def _dispatch_form(
         gap_tol=options.get("gap_tol", 1e-9),
         mip_gap=options.get("mip_gap"),
         max_iter=options.get("max_iter"),
-        time_limit=options.get("time_limit"),
         cuts=options.get("cuts", "auto"),
         max_cut_rounds=max_cut_rounds,
+        deadline=deadline,
     )
+
+
+def _guarantee_for(status: SolveStatus) -> str:
+    """What a failed-over solution with this status still promises."""
+    if status in (
+        SolveStatus.OPTIMAL,
+        SolveStatus.INFEASIBLE,
+        SolveStatus.UNBOUNDED,
+    ):
+        return "optimal"  # a conclusive answer, just from a different solver
+    if status in (
+        SolveStatus.TIME_LIMIT,
+        SolveStatus.NODE_LIMIT,
+        SolveStatus.ITERATION_LIMIT,
+    ):
+        return "bounded-gap"
+    return "feasible-only"
+
+
+def _run_with_failover(
+    form: StandardForm,
+    is_mip: bool,
+    backend: str,
+    options: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> Solution:
+    """``fallback="auto"`` driver: primary backend, alternate family, greedy.
+
+    Each hop is taken when the current backend raises :class:`SolverError`
+    or returns an ``ERROR`` status; anything else (including ``TIME_LIMIT``
+    and ``INFEASIBLE``) is a real answer and ends the chain.  Option names
+    the alternate backend does not honor are simply not read by its
+    dispatch branch, so the merged option dict can ride along unchanged.
+    """
+    from repro.optim import scipy_backend
+
+    chain = [backend]
+    if backend == "scipy":
+        chain.append("branch-and-bound" if is_mip else "simplex")
+    elif scipy_backend.is_available():
+        chain.append("scipy")
+    rungs: List[str] = []
+    errors: List[str] = []
+    for pos, alt in enumerate(chain):
+        succ = chain[pos + 1] if pos + 1 < len(chain) else "greedy"
+        try:
+            solution = _dispatch_form(form, is_mip, alt, options, deadline)
+        except SolverError as exc:
+            errors.append(f"{alt}: {exc}")
+            rungs.append(f"{alt}->{succ}")
+            record_rung(
+                "failover",
+                f"backend {alt!r} failed ({exc}); failing over to {succ!r}",
+            )
+            continue
+        if solution.status is SolveStatus.ERROR:
+            errors.append(f"{alt}: returned status 'error'")
+            rungs.append(f"{alt}->{succ}")
+            record_rung(
+                "failover",
+                f"backend {alt!r} returned an error status; failing over to {succ!r}",
+            )
+            continue
+        if rungs:
+            solution.degradation = Degradation(
+                rungs=tuple(rungs),
+                guarantee=_guarantee_for(solution.status),
+                errors=tuple(errors),
+            )
+        return solution
+    record_rung(
+        "greedy",
+        "every real backend failed; degrading to the greedy feasibility heuristic",
+    )
+    solution = greedy_form_solve(form, deadline=deadline)
+    solution.degradation = Degradation(
+        rungs=tuple(rungs),
+        guarantee="feasible-only",
+        errors=tuple(errors),
+    )
+    return solution
 
 
 def _raise_for_status(solution: Solution, label: str) -> None:
@@ -408,6 +551,54 @@ class SolverSession:
         return analysis.enforce(self.form, effective, label=self.model.name)
 
     # -- solving -----------------------------------------------------------
+    def _failover_after_simplex(
+        self, error: SolverError, deadline: Optional[Deadline]
+    ) -> Solution:
+        """Continue the ``fallback="auto"`` chain after a warm solve failed.
+
+        The chain here starts *past* the in-house simplex (it already failed,
+        recovery ladder included): SciPy when importable, then the greedy
+        heuristic.  Runs on the session's patched form without mutating any
+        warm state.
+        """
+        from repro.optim import scipy_backend
+
+        rungs: List[str] = []
+        errors: List[str] = [f"simplex: {error}"]
+        succ = "scipy" if scipy_backend.is_available() else "greedy"
+        rungs.append(f"simplex->{succ}")
+        record_rung(
+            "failover",
+            f"session simplex solve failed ({error}); failing over to {succ!r}",
+        )
+        if succ == "scipy":
+            try:
+                solution = _dispatch_form(self.form, False, "scipy", {}, deadline)
+            except SolverError as exc:
+                errors.append(f"scipy: {exc}")
+            else:
+                if solution.status is not SolveStatus.ERROR:
+                    solution.degradation = Degradation(
+                        rungs=tuple(rungs),
+                        guarantee=_guarantee_for(solution.status),
+                        errors=tuple(errors),
+                    )
+                    return solution
+                errors.append("scipy: returned status 'error'")
+            rungs.append("scipy->greedy")
+            record_rung(
+                "failover", "backend 'scipy' failed; failing over to 'greedy'"
+            )
+        record_rung(
+            "greedy",
+            "every real backend failed; degrading to the greedy feasibility heuristic",
+        )
+        solution = greedy_form_solve(self.form, deadline=deadline)
+        solution.degradation = Degradation(
+            rungs=tuple(rungs), guarantee="feasible-only", errors=tuple(errors)
+        )
+        return solution
+
     def solve(self, raise_on_infeasible: bool = False, **options: Any) -> Solution:
         """Re-solve against the current (patched) matrices.
 
@@ -424,6 +615,9 @@ class SolverSession:
         if self.backend == "simplex" and not self._is_mip:
             from repro.optim.simplex import SimplexSolver
 
+            fallback_mode = _pop_fallback_mode(merged)
+            time_limit = merged.pop("time_limit", None)
+            deadline = Deadline(time_limit) if time_limit is not None else None
             if self._simplex is None:
                 self._simplex = SimplexSolver(self.form)
             elif self._coeffs_dirty:
@@ -432,10 +626,28 @@ class SolverSession:
                 # require re-lowering the canonical arrays.
                 self._simplex.refresh()
             self._coeffs_dirty = False
-            solution, self._basis = self._simplex.solve(
-                warm_basis=self._basis,
-                max_iter=merged.get("max_iter"),
-            )
+            try:
+                if faultinject.ACTIVE:
+                    faultinject.maybe_fail_backend("simplex", SolverError)
+                solution, token = self._simplex.solve(
+                    warm_basis=self._basis,
+                    max_iter=merged.get("max_iter"),
+                    deadline=deadline,
+                )
+            except SolverError as exc:
+                if fallback_mode != "auto":
+                    raise
+                # The warm state (patched matrices, stored basis) is left
+                # exactly as it was: the failover solve runs on copies of
+                # the session's form and never touches the simplex solver,
+                # so a later solve() can still warm-start normally.
+                solution = self._failover_after_simplex(exc, deadline)
+            else:
+                if token is not None:
+                    # Solves that end without a factorized optimal basis
+                    # (infeasible, unbounded, deadline) keep the previous
+                    # warm-start token instead of clobbering it with None.
+                    self._basis = token
         else:
             solution = _solve_form(self.form, self._is_mip, self.backend, merged)
 

@@ -42,8 +42,12 @@ Options honored by this backend (see :func:`repro.optim.backend.solve_model`):
                     the HiGHS ``mip_rel_gap`` option.
 ``max_iter``        Simplex iteration limit forwarded to every node LP
                     solve.
-``time_limit``      Wall-clock limit in seconds; on expiry the best
-                    incumbent is returned with status ``NODE_LIMIT``.
+``time_limit``      Wall-clock limit in seconds, enforced through a shared
+                    :class:`repro.optim.resilience.Deadline` that also
+                    bounds cut separation, strong-branching probes and the
+                    node LP pivots themselves; on expiry the best incumbent
+                    is returned with status ``TIME_LIMIT`` and an honest
+                    bound/gap.
 ``cuts``            ``"auto"`` (default) runs the root cutting-plane loop
                     and reduced-cost fixing; ``"off"`` disables both.
 ``max_cut_rounds``  Bound on root separation rounds (default 5).
@@ -62,7 +66,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -78,6 +81,7 @@ from repro.optim.cuts import (
 )
 from repro.optim.errors import InternalSolverError, SolverError
 from repro.optim.model import StandardForm
+from repro.optim.resilience import Deadline
 from repro.optim.simplex import _Basis, _CanonicalLP
 from repro.optim.solution import Solution, SolveStatus
 from repro.optim.sparse import matvec
@@ -241,6 +245,7 @@ def _make_node_solver(
     form: StandardForm,
     lp_solver: Optional[Callable[[StandardForm], Solution]],
     max_iter: Optional[int],
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[
     Callable[[np.ndarray, np.ndarray, object], Tuple[Solution, object]],
     Optional[object],
@@ -264,7 +269,11 @@ def _make_node_solver(
 
     if scipy_backend.is_available():
         def solve_scipy(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
-            return scipy_backend.solve_lp(form, lb=lb, ub=ub, max_iter=max_iter), None
+            remaining = deadline.remaining_or_none() if deadline is not None else None
+            return (
+                scipy_backend.solve_lp(form, lb=lb, ub=ub, max_iter=max_iter, time_limit=remaining),
+                None,
+            )
 
         return solve_scipy, None
 
@@ -273,7 +282,7 @@ def _make_node_solver(
     session = SimplexSolver(form, max_iter=max_iter or 100_000)
 
     def solve_simplex(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
-        return session.solve(lb=lb, ub=ub, warm_basis=warm)
+        return session.solve(lb=lb, ub=ub, warm_basis=warm, deadline=deadline)
 
     return solve_simplex, session
 
@@ -288,6 +297,7 @@ def solve_milp(
     time_limit: Optional[float] = None,
     cuts: str = "auto",
     max_cut_rounds: int = 5,
+    deadline: Optional[Deadline] = None,
 ) -> Solution:
     """Solve a mixed-integer program by branch and bound.
 
@@ -314,7 +324,13 @@ def solve_milp(
     max_iter:
         Optional simplex iteration limit forwarded to every node LP solve.
     time_limit:
-        Optional wall-clock limit in seconds.
+        Optional wall-clock limit in seconds; a convenience that constructs
+        a fresh :class:`~repro.optim.resilience.Deadline`.
+    deadline:
+        Optional already-running deadline shared with the caller (e.g. the
+        backend dispatcher, which starts the clock before presolve).  Takes
+        precedence over ``time_limit``; both propagate into node LP pivots,
+        root cut separation and strong-branching probes.
     cuts:
         ``"auto"`` (default) enables the root cutting-plane loop and
         per-node reduced-cost fixing; ``"off"`` disables both (used by the
@@ -326,16 +342,19 @@ def solve_milp(
     Returns
     -------
     Solution
-        Optimal solution, or a solution with status ``NODE_LIMIT`` carrying
-        the best incumbent found when the node budget / time limit is
-        exhausted.  ``gap`` reports the final relative gap between the
+        Optimal solution, or a solution with status ``NODE_LIMIT`` (node
+        budget exhausted) / ``TIME_LIMIT`` (wall-clock deadline expired)
+        carrying the best incumbent found so far.  ``gap`` reports the
+        final relative gap between the
         incumbent and the best open bound -- including, when ``mip_gap`` is
         set, subtrees fathomed by the relative-gap cutoff, so a gap-pruned
         "optimal" honestly reports how far from a proven optimum it may be.
     """
     if cuts not in ("auto", "off"):
         raise SolverError(f"cuts must be 'auto' or 'off', got {cuts!r}")
-    node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter)
+    if deadline is None and time_limit is not None:
+        deadline = Deadline(time_limit)
+    node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter, deadline)
     sign = -1.0 if form.maximize else 1.0
 
     # Cut-and-branch root loop: separate cover and (on the in-house simplex
@@ -345,23 +364,25 @@ def solve_milp(
     # (including its rounding heuristic) runs unchanged over the new form.
     if cuts == "auto" and np.any(np.asarray(form.integrality, dtype=bool)):
         for _ in range(max_cut_rounds):
+            if deadline is not None and deadline.expired():
+                break  # whatever was separated so far still tightens the root
             relax, basis = node_solver(form.lb, form.ub, None)
             if relax.status is not SolveStatus.OPTIMAL:
                 break  # infeasible/unbounded roots are the main loop's business
             x_root = np.array([relax.values[name] for name in form.names])
             if _fractional_indices(x_root, form.integrality).size == 0:
                 break  # root already integral: no point cutting
-            new_cuts = separate_implied_cardinality_cuts(form, x_root)
-            new_cuts += separate_cover_cuts(form, x_root)
+            new_cuts = separate_implied_cardinality_cuts(form, x_root, deadline=deadline)
+            new_cuts += separate_cover_cuts(form, x_root, deadline=deadline)
             if simplex_session is not None:
                 lp = getattr(simplex_session, "_lp", None)
                 if isinstance(lp, _CanonicalLP) and isinstance(basis, _Basis):
-                    new_cuts += separate_gomory_cuts(lp, basis, form, x_root)
+                    new_cuts += separate_gomory_cuts(lp, basis, form, x_root, deadline=deadline)
             if not new_cuts:
                 break
             form = append_cut_rows(form, new_cuts)
             instr.add("cuts_added", len(new_cuts))
-            node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter)
+            node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter, deadline)
 
     def relaxation_cost(solution: Solution) -> float:
         """LP objective in minimization sense (undo the model-sense flip)."""
@@ -385,20 +406,18 @@ def solve_milp(
         """Zero-objective MILP deciding feasibility of a node's subtree.
 
         A zero objective is always bounded, so the probe terminates with
-        ``OPTIMAL`` (feasible), ``INFEASIBLE``, or ``NODE_LIMIT``
-        (inconclusive) and never recurses into another probe.  It inherits
-        whatever remains of the caller's node and wall-clock budgets.
+        ``OPTIMAL`` (feasible), ``INFEASIBLE``, or ``NODE_LIMIT`` /
+        ``TIME_LIMIT`` (inconclusive) and never recurses into another probe.
+        It inherits the caller's deadline and whatever remains of its node
+        budget.
         """
-        remaining_time = None
-        if time_limit is not None:
-            remaining_time = max(time_limit - (time.monotonic() - started), 0.01)
         probe = solve_milp(
             _rebounded(form, lb, ub, zero_objective=True),
             lp_solver=lp_solver,
             max_nodes=max(budget, 1),
             gap_tol=gap_tol,
             max_iter=max_iter,
-            time_limit=remaining_time,
+            deadline=deadline,
             cuts="off",  # a zero objective makes every fractional point uncuttable
         )
         return probe.status
@@ -416,16 +435,17 @@ def solve_milp(
     incumbent_cost = math.inf
     nodes_explored = 0
     limit_hit = False
+    deadline_hit = False
     # Best (lowest) minimization bound discarded by gap-based fathoming;
     # tracked only under mip_gap so the final Solution.gap reflects how far
     # from a proven optimum the pruning may have left the incumbent.
     gap_pruned_bound = math.inf
-    started = time.monotonic()
 
     while heap:
-        if nodes_explored >= max_nodes or (
-            time_limit is not None and time.monotonic() - started >= time_limit
-        ):
+        if deadline is not None and deadline.expired():
+            deadline_hit = True
+            break
+        if nodes_explored >= max_nodes:
             # Leave the frontier (including the node we were about to pop)
             # intact so NODE_LIMIT results carry a correct best bound.
             limit_hit = True
@@ -455,8 +475,15 @@ def solve_milp(
                 backend="branch-and-bound",
                 iterations=nodes_explored,
             )
+        if relax.status is SolveStatus.TIME_LIMIT:
+            # The node LP itself ran out of wall clock.  The node proved
+            # nothing -- push it back so the frontier (and hence the reported
+            # best bound) stays correct, and stop the search honestly.
+            heapq.heappush(heap, node)
+            deadline_hit = True
+            break
         if relax.status is not SolveStatus.OPTIMAL:
-            # A node LP that hit an iteration/time limit (or errored) proves
+            # A node LP that hit an iteration limit (or errored) proves
             # nothing about its subtree; silently fathoming it could turn a
             # feasible MILP into a reported INFEASIBLE or an unexplored
             # subtree into a claimed OPTIMAL.  Fail loudly instead, matching
@@ -600,6 +627,9 @@ def solve_milp(
             )
 
     if incumbent is None:
+        if deadline_hit:
+            instr.add("deadline_expiries")
+            return Solution(status=SolveStatus.TIME_LIMIT, backend="branch-and-bound", iterations=nodes_explored)
         if limit_hit:
             return Solution(status=SolveStatus.NODE_LIMIT, backend="branch-and-bound", iterations=nodes_explored)
         return Solution(status=SolveStatus.INFEASIBLE, backend="branch-and-bound", iterations=nodes_explored)
@@ -613,7 +643,12 @@ def solve_milp(
         values[name] = float(val)
 
     open_bounds = [nd.bound for nd in heap if nd.bound < cutoff()]
-    status = SolveStatus.NODE_LIMIT if limit_hit and open_bounds else SolveStatus.OPTIMAL
+    if (deadline_hit or limit_hit) and open_bounds:
+        status = SolveStatus.TIME_LIMIT if deadline_hit else SolveStatus.NODE_LIMIT
+        if deadline_hit:
+            instr.add("deadline_expiries")
+    else:
+        status = SolveStatus.OPTIMAL
     bound_candidates = list(open_bounds)
     if gap_pruned_bound < math.inf:
         bound_candidates.append(gap_pruned_bound)

@@ -56,6 +56,7 @@ import numpy as np
 from repro.optim._types import FloatArray, IntArray
 from repro.optim.analysis import coo_triplets
 from repro.optim.model import StandardForm
+from repro.optim.resilience import Deadline
 from repro.optim.simplex import AT_LOWER, AT_UPPER, BASIC, _Basis, _CanonicalLP
 from repro.optim.sparse import SparseMatrix
 
@@ -109,18 +110,25 @@ def _rows_of(matrix: object, m: int) -> List[Tuple[IntArray, FloatArray]]:
 
 
 def separate_cover_cuts(
-    form: StandardForm, x: FloatArray, max_cuts: int = 20
+    form: StandardForm,
+    x: FloatArray,
+    max_cuts: int = 20,
+    deadline: Optional[Deadline] = None,
 ) -> List[Cut]:
     """Greedy cover cuts from the all-binary ``<=`` rows of ``form``.
 
     ``x`` is the fractional point to cut off (original variable order).
-    Returns at most ``max_cuts`` cuts, most violated first.
+    Returns at most ``max_cuts`` cuts, most violated first.  An expired
+    ``deadline`` stops the row scan early; whatever was separated so far is
+    still valid.
     """
     integrality = np.asarray(form.integrality) != 0
     binary = integrality & (np.asarray(form.lb) == 0.0) & (np.asarray(form.ub) == 1.0)
     m_ub = int(form.b_ub.shape[0])
     found: List[Tuple[float, Cut]] = []
     for i, (cols, vals) in enumerate(_rows_of(form.A_ub, m_ub)):
+        if deadline is not None and i % 64 == 0 and deadline.expired():
+            break
         if cols.size < 2 or not np.all(binary[cols]):
             continue
         b = float(form.b_ub[i])
@@ -158,7 +166,10 @@ def separate_cover_cuts(
 
 
 def separate_implied_cardinality_cuts(
-    form: StandardForm, x: FloatArray, max_cuts: int = 60
+    form: StandardForm,
+    x: FloatArray,
+    max_cuts: int = 60,
+    deadline: Optional[Deadline] = None,
 ) -> List[Cut]:
     """Cardinality cuts from variable-upper-bound substitution + CG rounding.
 
@@ -208,6 +219,8 @@ def separate_implied_cardinality_cuts(
     found: List[Tuple[float, Cut]] = []
     seen: Set[Tuple[Tuple[int, ...], Tuple[float, ...], float]] = set()
     for i, (cols, vals) in enumerate(rows):
+        if deadline is not None and i % 64 == 0 and deadline.expired():
+            break
         b = float(form.b_ub[i])
         weights: Dict[int, float] = {}
         usable = True
@@ -281,6 +294,7 @@ def separate_gomory_cuts(
     form: StandardForm,
     x: FloatArray,
     max_cuts: int = 20,
+    deadline: Optional[Deadline] = None,
 ) -> List[Cut]:
     """Gomory mixed-integer cuts read off a factorized optimal basis.
 
@@ -325,6 +339,8 @@ def separate_gomory_cuts(
     cuts: List[Cut] = []
     for _, r in candidates:
         if len(cuts) >= max_cuts:
+            break
+        if deadline is not None and deadline.expired():
             break
         k = int(basic_cols[r])
         beta = float(x[col_var[k]])

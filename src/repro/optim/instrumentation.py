@@ -43,6 +43,14 @@ COUNTER_NAMES = (
     "rc_fixings",         # reduced-cost bound tightenings applied at nodes
     "dual_bound_flips",   # entering-variable bound flips in the dual ratio test
     "strong_branch_probes",  # child-LP probes made to initialize pseudocosts
+    "warm_repair_stalls",    # warm-start dual repairs that stalled into a cold solve
+    "recovery_refactorize",  # numerical retries on a fresh LU factorization
+    "recovery_perturb",      # cost-perturbation retries (with post-solve cleanup)
+    "recovery_bland",        # forced-Bland-pricing retries
+    "recovery_cold_restart", # last-ditch cold two-phase restarts
+    "backend_failovers",     # fallback="auto" hops to another backend
+    "greedy_degradations",   # fallback="auto" solves finished by the greedy rung
+    "deadline_expiries",     # solves that returned TIME_LIMIT on an expired Deadline
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}

@@ -65,6 +65,7 @@ from repro.optim.analysis import (
 )
 from repro.optim.errors import InternalSolverError
 from repro.optim.model import StandardForm
+from repro.optim.resilience import Deadline
 from repro.optim.solution import Solution
 from repro.optim.sparse import SparseMatrix
 
@@ -152,6 +153,7 @@ class Postsolve:
             iterations=solution.iterations,
             gap=solution.gap,
             reduced_costs=reduced_costs,
+            degradation=solution.degradation,
         )
 
 
@@ -208,13 +210,17 @@ def presolve(
     form: StandardForm,
     integer_aware: Optional[bool] = None,
     max_rounds: int = 10,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[ReducedForm, Postsolve]:
     """Reduce ``form``; returns the shrunken form and its postsolve mapping.
 
     ``integer_aware`` enables the reductions that are only valid when the
     solver will enforce integrality (integer bound rounding and coefficient
     tightening); it defaults to whether the form has integer columns.  The
-    input form is never mutated.
+    input form is never mutated.  An expired ``deadline`` stops the fixpoint
+    iteration between rounds -- any prefix of presolve rounds yields a valid
+    (just less reduced) form, so the solve proper still gets whatever budget
+    is left.
     """
     n = form.num_vars
     if integer_aware is None:
@@ -508,6 +514,8 @@ def presolve(
 
     try:
         for _ in range(max_rounds):
+            if deadline is not None and deadline.expired():
+                break
             changed = False
             if integer_aware:
                 changed |= round_integer_bounds()

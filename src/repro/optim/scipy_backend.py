@@ -49,7 +49,15 @@ def is_available() -> bool:
     return _HAVE_SCIPY
 
 
-def _status_from_scipy(success: bool, status_code: int) -> SolveStatus:
+def _status_from_scipy(
+    success: bool, status_code: int, timed: bool = False
+) -> SolveStatus:
+    """Map SciPy's result codes onto the shared status enum.
+
+    SciPy/HiGHS collapses every limit (iterations *and* wall clock) into
+    status code 1; ``timed`` says whether the caller passed a ``time_limit``,
+    in which case code 1 is reported as the honest ``TIME_LIMIT``.
+    """
     if success:
         return SolveStatus.OPTIMAL
     if status_code == 2:
@@ -57,7 +65,7 @@ def _status_from_scipy(success: bool, status_code: int) -> SolveStatus:
     if status_code == 3:
         return SolveStatus.UNBOUNDED
     if status_code == 1:
-        return SolveStatus.ITERATION_LIMIT
+        return SolveStatus.TIME_LIMIT if timed else SolveStatus.ITERATION_LIMIT
     return SolveStatus.ERROR
 
 
@@ -91,7 +99,7 @@ def solve_lp(
         method="highs",
         options=options or None,
     )
-    status = _status_from_scipy(res.success, res.status)
+    status = _status_from_scipy(res.success, res.status, timed=time_limit is not None)
     if status is not SolveStatus.OPTIMAL:
         return Solution(status=status, backend="scipy-linprog")
     values = {name: float(res.x[i]) for i, name in enumerate(form.names)}
@@ -124,8 +132,8 @@ def solve_mip(
     """Solve ``form`` as a mixed-integer program with HiGHS.
 
     ``time_limit`` (seconds) and ``mip_gap`` (relative optimality gap) bound
-    the solve; when either is hit the best incumbent found so far is returned
-    with status ``ITERATION_LIMIT`` and its gap reported in
+    the solve; when the time limit is hit the best incumbent found so far is
+    returned with status ``TIME_LIMIT`` and its gap reported in
     :attr:`~repro.optim.solution.Solution.gap`.
     """
     if not _HAVE_SCIPY:
@@ -148,7 +156,7 @@ def solve_mip(
         options=options or None,
     )
     if res.x is None:
-        status = _status_from_scipy(res.success, res.status)
+        status = _status_from_scipy(res.success, res.status, timed=time_limit is not None)
         if status is SolveStatus.OPTIMAL:
             status = SolveStatus.ERROR
         return Solution(status=status, backend="scipy-milp")
@@ -157,7 +165,7 @@ def solve_mip(
     for i, flag in enumerate(form.integrality):
         if flag:
             x[i] = round(x[i])
-    status = _status_from_scipy(res.success, res.status)
+    status = _status_from_scipy(res.success, res.status, timed=time_limit is not None)
     values = {name: float(x[i]) for i, name in enumerate(form.names)}
     gap = float(getattr(res, "mip_gap", 0.0) or 0.0)
     return Solution(

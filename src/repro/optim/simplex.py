@@ -52,14 +52,17 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.optim import faultinject
 from repro.optim import instrumentation as instr
 from repro.optim.errors import InternalSolverError, SolverError
 from repro.optim.model import StandardForm
+from repro.optim.resilience import Deadline, record_rung
 from repro.optim.solution import Solution, SolveStatus
 from repro.optim.sparse import MatrixLike, SparseMatrix
 
@@ -85,6 +88,15 @@ _REFACTOR_INTERVAL = 16
 #: Below this basis dimension a dense LAPACK factorization beats SuperLU's
 #: setup overhead even when SciPy is importable.
 _SPLU_MIN_DIM = 60
+
+#: Deadline expiry is checked every this many simplex iterations; a check is
+#: one monotonic-clock read, so a small stride keeps overrun bounded without
+#: showing up in pivot-loop profiles.
+_DEADLINE_STRIDE = 32
+
+#: Env toggle forcing the dense-inverse factor path even when SuperLU is
+#: importable -- CI runs the fault-injection suite under both factor paths.
+_FORCE_DENSE_LU = os.environ.get("REPRO_FORCE_DENSE_LU", "") not in ("", "0")
 
 try:  # pragma: no cover - exercised implicitly via _BasisFactor
     from scipy.sparse import csc_matrix as _scipy_csc
@@ -271,8 +283,21 @@ def _canonicalize(
     )
 
 
-class _SingularBasis(Exception):
+class _NumericalTrouble(Exception):
+    """Base of recoverable numerical failures inside the simplex.
+
+    :meth:`SimplexSolver.solve` catches this hierarchy and walks the
+    recovery ladder (refactorize -> cost perturbation -> Bland pricing ->
+    cold restart) instead of surfacing an :class:`InternalSolverError`.
+    """
+
+
+class _SingularBasis(_NumericalTrouble):
     """The selected basis matrix is numerically singular."""
+
+
+class _NonFinitePivot(_NumericalTrouble):
+    """A pivot column or dual row came back with NaN/Inf entries."""
 
 
 class _BasisFactor:
@@ -286,6 +311,8 @@ class _BasisFactor:
     __slots__ = ("m", "stamp", "_etas_r", "_etas_w", "_splu", "_inv", "_base_nnz")
 
     def __init__(self, lp: _CanonicalLP, basis: np.ndarray, art_sign: np.ndarray) -> None:
+        if faultinject.ACTIVE:
+            faultinject.maybe_fail(faultinject.FACTORIZE, _SingularBasis)
         m, n_cols = lp.m, lp.n
         self.m = m
         self.stamp = lp.stamp
@@ -331,7 +358,7 @@ class _BasisFactor:
             rows_B[slots] = art_rows
             vals_B[slots] = art_sign[art_rows]
 
-        if _HAVE_SPLU and m >= _SPLU_MIN_DIM:
+        if _HAVE_SPLU and m >= _SPLU_MIN_DIM and not _FORCE_DENSE_LU:
             matrix = _scipy_csc(
                 (vals_B, rows_B.astype(np.int32), indptr_B.astype(np.int32)), shape=(m, m)
             )
@@ -459,22 +486,37 @@ class _State:
         return x[: self.lp.n]
 
 
-def _primal_iterations(state: _State, costs: np.ndarray, max_iter: int) -> Tuple[str, int]:
+def _primal_iterations(
+    state: _State,
+    costs: np.ndarray,
+    max_iter: int,
+    deadline: Optional[Deadline] = None,
+    bland: bool = False,
+) -> Tuple[str, int]:
     """Bounded-variable primal revised simplex.
 
-    Returns ``(status, iterations)`` with status ``"optimal"`` or
-    ``"unbounded"``.  Entering candidates are non-basic, non-fixed columns
-    whose reduced cost improves the objective in the direction their bound
-    allows; the ratio test accounts for both bounds of every basic variable
-    and for the entering variable's own opposite bound (a "bound flip",
-    which costs no basis change at all).
+    Returns ``(status, iterations)`` with status ``"optimal"``,
+    ``"unbounded"`` or ``"deadline"`` (wall-clock budget expired mid-phase).
+    Entering candidates are non-basic, non-fixed columns whose reduced cost
+    improves the objective in the direction their bound allows; the ratio
+    test accounts for both bounds of every basic variable and for the
+    entering variable's own opposite bound (a "bound flip", which costs no
+    basis change at all).  ``bland=True`` forces Bland's anti-cycling rule
+    from the first pivot -- the recovery ladder's answer to numerical
+    cycling under Dantzig pricing.
     """
     lp = state.lp
     A, m, n_cols = lp.A, lp.m, lp.n
     movable = state.lower_ext[:n_cols] < state.upper_ext[:n_cols]
     iterations = 0
-    stalled = 0
+    stalled = _STALL_LIMIT if bland else 0
     while iterations < max_iter:
+        if (
+            deadline is not None
+            and iterations % _DEADLINE_STRIDE == 0
+            and deadline.expired()
+        ):
+            return "deadline", iterations
         if state.factor.needs_refactor():
             state.refactor()
         y = state.factor.btran(costs[state.basis])
@@ -494,6 +536,10 @@ def _primal_iterations(state: _State, costs: np.ndarray, max_iter: int) -> Tuple
 
         col = A.gather_col(q, np.zeros(m))
         w = state.factor.ftran(col)
+        if faultinject.ACTIVE:
+            w = faultinject.corrupt_vector(faultinject.PIVOT_FTRAN, w)
+        if not np.all(np.isfinite(w)):
+            raise _NonFinitePivot("entering column came back non-finite from FTRAN")
         wd = sigma * w
         lB = state.lower_ext[state.basis]
         uB = state.upper_ext[state.basis]
@@ -543,7 +589,11 @@ def _reduced_costs(state: _State, costs: np.ndarray) -> np.ndarray:
 
 
 def _dual_iterations(
-    state: _State, costs: np.ndarray, max_iter: int, d: Optional[np.ndarray] = None
+    state: _State,
+    costs: np.ndarray,
+    max_iter: int,
+    d: Optional[np.ndarray] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[str, int]:
     """Restore primal feasibility of a dual-feasible factorized basis.
 
@@ -560,9 +610,10 @@ def _dual_iterations(
 
     Returns ``("feasible", iters)`` when every basic value is back inside
     its bounds, ``("infeasible", iters)`` when a violated row admits no
-    entering column (proof of primal infeasibility), or ``("stalled",
-    iters)`` when the iteration budget runs out or a pivot is numerically
-    unusable, in which case the caller falls back to a cold solve.
+    entering column (proof of primal infeasibility), ``("deadline", iters)``
+    when the wall-clock budget expired, or ``("stalled", iters)`` when the
+    iteration budget runs out or a pivot is numerically unusable, in which
+    case the caller falls back to a cold solve.
     """
     lp = state.lp
     A, m, n_cols = lp.A, lp.m, lp.n
@@ -571,6 +622,12 @@ def _dual_iterations(
         d = _reduced_costs(state, costs)
     iterations = 0
     while iterations < max_iter:
+        if (
+            deadline is not None
+            and iterations % _DEADLINE_STRIDE == 0
+            and deadline.expired()
+        ):
+            return "deadline", iterations
         if state.factor.needs_refactor():
             state.refactor()
             d = _reduced_costs(state, costs)
@@ -588,6 +645,8 @@ def _dual_iterations(
         e_r[r] = 1.0
         rho = state.factor.btran(e_r)
         alpha = A.rmatvec(rho)
+        if not np.all(np.isfinite(alpha)):
+            raise _NonFinitePivot("dual pricing row came back non-finite from BTRAN")
 
         at_low = state.vstat[:n_cols] == AT_LOWER
         at_up = state.vstat[:n_cols] == AT_UPPER
@@ -620,6 +679,10 @@ def _dual_iterations(
             q = int(q_raw)
             col = A.gather_col(q, np.zeros(m))
             w = state.factor.ftran(col)
+            if faultinject.ACTIVE:
+                w = faultinject.corrupt_vector(faultinject.PIVOT_FTRAN, w)
+            if not np.all(np.isfinite(w)):
+                raise _NonFinitePivot("entering column came back non-finite from FTRAN")
             if abs(w[r]) < 1e-11:
                 return "stalled", iterations
             t = (state.xB[r] - target) / w[r]
@@ -665,15 +728,19 @@ def _dual_iterations(
 
 
 def _finish_primal(
-    state: _State, max_iter: int, dual_iters: int
+    state: _State,
+    max_iter: int,
+    dual_iters: int,
+    deadline: Optional[Deadline] = None,
+    bland: bool = False,
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
     """Run phase-2 primal pivots and package the result tuple."""
     lp = state.lp
     costs = np.concatenate((lp.c, np.zeros(lp.m)))
-    status, iters = _primal_iterations(state, costs, max_iter)
+    status, iters = _primal_iterations(state, costs, max_iter, deadline=deadline, bland=bland)
     total = dual_iters + iters
-    if status == "unbounded":
-        return "unbounded", None, total, None
+    if status in ("unbounded", "deadline"):
+        return status, None, total, None
     token = _Basis(
         basis=state.basis.copy(),
         vstat=state.vstat.copy(),
@@ -687,7 +754,10 @@ def _finish_primal(
 
 
 def _cold_solve(
-    lp: _CanonicalLP, max_iter: int
+    lp: _CanonicalLP,
+    max_iter: int,
+    deadline: Optional[Deadline] = None,
+    bland: bool = False,
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
     """Two-phase solve from a crash basis of slacks and signed artificials."""
     m, n_cols = lp.m, lp.n
@@ -727,7 +797,11 @@ def _cold_solve(
         # Unused artificials must not be priced in: pin them immediately.
         unused_arts = n_cols + slack_rows
         upper_ext[unused_arts] = 0.0
-        status, phase1_iters = _primal_iterations(state, costs1, max_iter)
+        status, phase1_iters = _primal_iterations(
+            state, costs1, max_iter, deadline=deadline, bland=bland
+        )
+        if status == "deadline":
+            return "deadline", None, phase1_iters, None
         if status != "optimal":
             raise SolverError("phase-1 simplex reported an unbounded auxiliary problem")
         art_basic = state.basis >= n_cols
@@ -738,18 +812,25 @@ def _cold_solve(
         upper_ext[n_cols:] = 0.0
         state.xB[art_basic] = 0.0
 
-    return _finish_primal(state, max_iter, phase1_iters)
+    return _finish_primal(state, max_iter, phase1_iters, deadline=deadline, bland=bland)
 
 
 def _warm_solve(
-    lp: _CanonicalLP, token: _Basis, max_iter: int
+    lp: _CanonicalLP,
+    token: _Basis,
+    max_iter: int,
+    deadline: Optional[Deadline] = None,
+    fresh_factor: bool = False,
 ) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
     """Resume from a previous basis; ``None`` means fall back to a cold solve.
 
     The basis is refactorized once and accepted when it is *either* primal
     feasible under the current data (resume phase 2 directly) *or* dual
     feasible (the typical state after a branching bound change, repaired
-    with bounded dual simplex pivots).
+    with bounded dual simplex pivots).  ``fresh_factor=True`` skips the
+    stored-factorization resume and refactorizes from scratch -- the
+    "refactorize" rung of the recovery ladder, retried after the stored
+    factors produced numerical garbage.
     """
     m, n_cols = lp.m, lp.n
     basis = token.basis.copy()
@@ -771,7 +852,8 @@ def _warm_solve(
 
     state = _State(lp, basis, vstat, art_sign, lower_ext, upper_ext)
     if (
-        token.factor is not None
+        not fresh_factor
+        and token.factor is not None
         and token.factor.stamp == lp.stamp
         and not token.factor.needs_refactor()
     ):
@@ -818,15 +900,27 @@ def _warm_solve(
     primal_ok = bool(np.all(state.xB >= lB - _WARM_FEAS_TOL) and np.all(state.xB <= uB + _WARM_FEAS_TOL))
     if primal_ok:
         np.clip(state.xB, lB, uB, out=state.xB)
-        return _finish_primal(state, max_iter, 0)
+        return _finish_primal(state, max_iter, 0, deadline=deadline)
     if not dual_ok:
         return None
-    dual_status, dual_iters = _dual_iterations(state, costs, max_iter, d=d)
+    if faultinject.ACTIVE and faultinject.should(faultinject.WARM_REPAIR):
+        dual_status, dual_iters = "stalled", 0
+    else:
+        dual_status, dual_iters = _dual_iterations(state, costs, max_iter, d=d, deadline=deadline)
     if dual_status == "infeasible":
         return "infeasible", None, dual_iters, None
+    if dual_status == "deadline":
+        return "deadline", None, dual_iters, None
     if dual_status != "feasible":
-        return None  # stalled: cold two-phase fallback
-    return _finish_primal(state, max_iter, dual_iters)
+        # Stalled warm repair: the solve silently degrades to a cold
+        # two-phase solve -- make that observable before falling back.
+        record_rung(
+            "warm-stall",
+            f"warm-start dual repair stalled after {dual_iters} pivots; "
+            "falling back to a cold two-phase solve",
+        )
+        return None
+    return _finish_primal(state, max_iter, dual_iters, deadline=deadline)
 
 
 def _solution_from_canonical(
@@ -840,6 +934,9 @@ def _solution_from_canonical(
         return Solution(status=SolveStatus.INFEASIBLE, backend="simplex", iterations=iterations)
     if status == "unbounded":
         return Solution(status=SolveStatus.UNBOUNDED, backend="simplex", iterations=iterations)
+    if status == "deadline":
+        instr.add("deadline_expiries")
+        return Solution(status=SolveStatus.TIME_LIMIT, backend="simplex", iterations=iterations)
     if y is None:
         raise InternalSolverError(
             f"simplex reported status {status!r} without a solution vector"
@@ -853,6 +950,78 @@ def _solution_from_canonical(
         backend="simplex",
         iterations=iterations,
     )
+
+
+#: Seed of the deterministic cost perturbation used by the recovery ladder.
+_PERTURB_SEED = 0x5EED
+
+
+def _perturbed_solve(
+    lp: _CanonicalLP, max_iter: int, deadline: Optional[Deadline]
+) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
+    """Cold solve under deterministically perturbed costs, then unperturb.
+
+    A tiny positive cost jitter breaks the degenerate ties that drive
+    cycling and singular pivot sequences.  Costs do not affect feasibility,
+    so an ``infeasible`` answer stands as-is; an ``optimal`` one is cleaned
+    up by resuming the final basis under the *true* costs (the perturbed
+    optimum is primal feasible, so the resume is a short phase-2 run).
+    ``None`` means the rung did not produce a trustworthy answer and the
+    ladder should continue.
+    """
+    saved_c = lp.c
+    rng = np.random.default_rng(_PERTURB_SEED)
+    jitter = 1e-7 * (1.0 + np.abs(saved_c)) * rng.random(saved_c.shape)
+    lp.c = saved_c + jitter
+    try:
+        result = _cold_solve(lp, max_iter, deadline=deadline)
+    finally:
+        lp.c = saved_c
+    status, _y, iters, token = result
+    if status in ("infeasible", "deadline"):
+        return result
+    if status != "optimal" or token is None:
+        # "unbounded" under jittered costs is not proof for the true costs.
+        return None
+    cleanup = _warm_solve(lp, token, max_iter, deadline=deadline)
+    return cleanup
+
+
+def _cold_solve_resilient(
+    lp: _CanonicalLP, max_iter: int, deadline: Optional[Deadline]
+) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
+    """Cold solve wrapped in the numerical-recovery ladder.
+
+    Rungs, in order: plain cold solve -> deterministic cost perturbation
+    (with post-solve unperturbation) -> forced Bland pricing -> one last
+    plain cold restart (catches transient failures, e.g. an injected or
+    environmental one-off).  Each rung is counted in instrumentation and
+    surfaced as a Diagnostic; only when every rung fails does the solve
+    raise ``SolverError``.
+    """
+    try:
+        return _cold_solve(lp, max_iter, deadline=deadline)
+    except _NumericalTrouble as exc:
+        failure = exc
+    record_rung("perturb", f"cold solve failed ({failure}); retrying with perturbed costs")
+    try:
+        result = _perturbed_solve(lp, max_iter, deadline)
+        if result is not None:
+            return result
+    except _NumericalTrouble as exc:
+        failure = exc
+    record_rung("bland", f"perturbed retry failed ({failure}); retrying with Bland pricing")
+    try:
+        return _cold_solve(lp, max_iter, deadline=deadline, bland=True)
+    except _NumericalTrouble as exc:
+        failure = exc
+    record_rung("cold-restart", f"Bland retry failed ({failure}); one last cold restart")
+    try:
+        return _cold_solve(lp, max_iter, deadline=deadline)
+    except _NumericalTrouble as exc:
+        raise SolverError(
+            f"simplex could not recover from numerical failure: {exc}"
+        ) from exc
 
 
 class SimplexSolver:
@@ -904,6 +1073,7 @@ class SimplexSolver:
         ub: Optional[np.ndarray] = None,
         warm_basis: Optional[_Basis] = None,
         max_iter: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Solution, Optional[_Basis]]:
         """Solve the LP with overridden bounds; returns (solution, basis).
 
@@ -926,14 +1096,21 @@ class SimplexSolver:
         result = None
         if _basis_compatible(warm_basis, lp):
             try:
-                result = _warm_solve(lp, warm_basis, limit)
-            except _SingularBasis:
-                result = None
+                result = _warm_solve(lp, warm_basis, limit, deadline=deadline)
+            except _NumericalTrouble as exc:
+                record_rung(
+                    "refactorize",
+                    f"warm solve hit numerical trouble ({exc}); "
+                    "retrying on a fresh factorization",
+                )
+                try:
+                    result = _warm_solve(
+                        lp, warm_basis, limit, deadline=deadline, fresh_factor=True
+                    )
+                except _NumericalTrouble:
+                    result = None
         if result is None:
-            try:
-                result = _cold_solve(lp, limit)
-            except _SingularBasis as exc:  # pragma: no cover - numerical edge
-                raise SolverError(f"basis became numerically singular: {exc}") from None
+            result = _cold_solve_resilient(lp, limit, deadline)
         status, y, iterations, token = result
         instr.add("lp_solves")
         solution = _solution_from_canonical(self.form, lp, status, y, iterations)
@@ -948,11 +1125,13 @@ class SimplexSolver:
         return solution, token
 
 
-def solve_standard_form(form: StandardForm, max_iter: int = 100_000) -> Solution:
+def solve_standard_form(
+    form: StandardForm, max_iter: int = 100_000, deadline: Optional[Deadline] = None
+) -> Solution:
     """Solve the LP relaxation of a :class:`StandardForm` with the simplex.
 
     Integrality markers are ignored; use
     :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
     """
-    solution, _ = SimplexSolver(form, max_iter=max_iter).solve()
+    solution, _ = SimplexSolver(form, max_iter=max_iter).solve(deadline=deadline)
     return solution

@@ -4,26 +4,64 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.optim._types import FloatArray
 
 
 class SolveStatus(enum.Enum):
-    """Status of a solve attempt."""
+    """Status of a solve attempt.
+
+    ``TIME_LIMIT`` and ``NODE_LIMIT`` are distinct on purpose: the first is a
+    wall-clock deadline expiring (see :class:`repro.optim.resilience.Deadline`),
+    the second an exhausted node budget.  Both carry the best incumbent found
+    and an honest :attr:`Solution.gap`.  ``FEASIBLE`` marks a point that
+    satisfies every constraint but comes with no optimality proof at all --
+    the status of the greedy degradation rung of a failed-over solve.
+    """
 
     OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
     NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
     ERROR = "error"
 
     @property
     def is_optimal(self) -> bool:
         """True when the solver proved optimality."""
         return self is SolveStatus.OPTIMAL
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Record of the resilience rungs a solve burned through.
+
+    Attached to a :class:`Solution` only when at least one failover rung
+    fired under the ``fallback="auto"`` solve option, so callers can tell a
+    first-try answer from one that survived a backend loss -- and know what
+    optimality guarantee is left.
+
+    Attributes
+    ----------
+    rungs:
+        The failover transitions that fired, in order, e.g.
+        ``("scipy->branch-and-bound", "branch-and-bound->greedy")``.
+    guarantee:
+        The guarantee that survived: ``"optimal"`` (a later backend still
+        proved optimality), ``"bounded-gap"`` (incumbent plus a valid dual
+        bound, see :attr:`Solution.gap`), or ``"feasible-only"`` (the greedy
+        rung: a feasible point with no bound at all).
+    errors:
+        One human-readable line per failed rung, for diagnosis.
+    """
+
+    rungs: Tuple[str, ...] = ()
+    guarantee: str = "optimal"
+    errors: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -53,6 +91,10 @@ class Solution:
         *minimization* sense and aligned with the form's variable order.
         Populated by the in-house simplex and the SciPy LP backend; consumed
         by branch-and-bound's reduced-cost variable fixing.
+    degradation:
+        ``None`` for a solve that succeeded on its first backend; a
+        :class:`Degradation` record when ``fallback="auto"`` rode one or
+        more failover rungs to produce this solution.
     """
 
     status: SolveStatus
@@ -62,6 +104,7 @@ class Solution:
     iterations: int = 0
     gap: float = 0.0
     reduced_costs: Optional["FloatArray"] = None
+    degradation: Optional[Degradation] = None
 
     @property
     def is_optimal(self) -> bool:

@@ -116,6 +116,30 @@ class TestFormMutation:
         assert _rules("form.c = np.zeros(3)") == []
 
 
+class TestClockReads:
+    def test_monotonic_flagged_in_optim(self):
+        src = "import time\nt0 = time.monotonic()\n"
+        assert _rules(src, "src/repro/optim/branch_and_bound.py") == ["SOLV005"]
+
+    def test_all_clock_functions_flagged(self):
+        for fn in ("monotonic", "perf_counter", "time"):
+            src = f"import time\nt0 = time.{fn}()\n"
+            assert _rules(src, "src/repro/optim/simplex.py") == ["SOLV005"], fn
+
+    def test_resilience_module_is_sanctioned(self):
+        src = "import time\nt0 = time.monotonic()\n"
+        assert _rules(src, "src/repro/optim/resilience.py") == []
+
+    def test_outside_optim_not_flagged(self):
+        src = "import time\nt0 = time.monotonic()\n"
+        assert _rules(src, "src/repro/experiments/runner.py") == []
+        assert _rules(src, "benchmarks/test_bench_inhouse_solver.py") == []
+
+    def test_non_clock_time_attrs_not_flagged(self):
+        src = "import time\ntime.sleep(0.1)\nns = time.monotonic_ns\n"
+        assert _rules(src, "src/repro/optim/backend.py") == []
+
+
 class TestDriver:
     def test_repo_tree_is_clean(self):
         findings = []

@@ -10,7 +10,15 @@ import math
 import numpy as np
 import pytest
 
-from repro.optim import Model, SolveStatus, available_backends, lin_sum, solve_model
+from repro.optim import (
+    FaultPlan,
+    Model,
+    SolveStatus,
+    available_backends,
+    lin_sum,
+    solve_model,
+)
+from repro.optim import faultinject
 from repro.optim.branch_and_bound import solve_milp
 from repro.optim.errors import InfeasibleError, SolverError, UnboundedError
 from repro.optim.simplex import solve_standard_form
@@ -389,6 +397,72 @@ class TestSolverSession:
         assert m.solve(backend="simplex").objective == pytest.approx(3.0)
         m.update_constraint_rhs("floor", 7)
         assert m.solve(backend="simplex").objective == pytest.approx(7.0)
+
+
+class TestSessionAfterFailedSolves:
+    """A failed or failed-over solve must leave the session consistent."""
+
+    def _session(self, **options):
+        m = Model("resilient-sess", sense="min")
+        a, b = m.add_var("a"), m.add_var("b")
+        m.add_constr(a + b >= 4, name="cover")
+        m.set_objective(2 * a + 3 * b)
+        return m.session(backend="simplex", **options)
+
+    def test_failed_solve_without_fallback_leaves_state_intact(self):
+        session = self._session()
+        assert session.solve().objective == pytest.approx(8.0)
+        basis = session._basis
+        rhs = session.form.b_ub.copy()
+        with faultinject.inject(FaultPlan(fail_backends=("simplex",))):
+            with pytest.raises(SolverError):
+                session.solve()
+        assert session._basis is basis
+        np.testing.assert_array_equal(session.form.b_ub, rhs)
+        # The session still warm-resolves normally afterwards.
+        assert session.solve().objective == pytest.approx(8.0)
+
+    def test_failover_solve_preserves_warm_state(self):
+        session = self._session(fallback="auto")
+        assert session.solve().objective == pytest.approx(8.0)
+        basis = session._basis
+        with faultinject.inject(FaultPlan(fail_backends=("simplex",))):
+            sol = session.solve()
+        # SciPy answered on the session's patched form, tagged as degraded...
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(8.0)
+        assert sol.degradation is not None
+        assert sol.degradation.rungs == ("simplex->scipy",)
+        # ...and the failover did not clobber the warm basis.
+        assert session._basis is basis
+        after = session.solve()
+        assert after.objective == pytest.approx(8.0)
+        assert after.degradation is None
+
+    def test_failover_respects_patches_made_before_the_failure(self):
+        session = self._session(fallback="auto")
+        session.solve()
+        session.update_constraint_rhs("cover", 10)
+        with faultinject.inject(FaultPlan(fail_backends=("simplex",))):
+            sol = session.solve()
+        assert sol.objective == pytest.approx(20.0)
+
+    def test_time_limit_solve_keeps_previous_basis(self):
+        session = self._session()
+        session.solve()
+        basis = session._basis
+        with faultinject.inject(FaultPlan(jump_clock_after=1)):
+            sol = session.solve(time_limit=3600.0)
+        assert sol.status is SolveStatus.TIME_LIMIT
+        # A deadline expiry returns no factorized basis token; the session
+        # must keep the previous warm-start state rather than storing None.
+        assert session._basis is basis
+        assert session.solve().objective == pytest.approx(8.0)
+
+    def test_session_validates_time_limit(self):
+        session = self._session()
+        with pytest.raises(ValueError, match="time_limit"):
+            session.solve(time_limit=-1.0)
 
 
 class TestStandardFormSolvers:

@@ -33,6 +33,17 @@ SOLV004  no direct mutation of ``StandardForm`` arrays
     :class:`repro.optim.presolve.Postsolve`, so patching them in place
     would desynchronize the postsolve mapping.
 
+SOLV005  no naked clock reads inside ``repro.optim``
+    ``time.monotonic()``, ``time.perf_counter()`` and ``time.time()`` in
+    solver code bypass :class:`repro.optim.resilience.Deadline`, the one
+    budget every layer shares.  A private clock cannot be skewed by the
+    fault-injection harness and silently re-introduces the
+    time-limit-as-node-limit conflation the resilience layer removed, so
+    all wall-clock awareness must flow through a ``Deadline`` threaded from
+    the backend dispatcher.  Only ``repro/optim/resilience.py`` (which
+    defines the deadline) may touch the clock; benchmarks and tests are
+    outside the rule's scope.
+
 Usage::
 
     python tools/lint_solver.py src/repro [more paths ...]
@@ -73,6 +84,13 @@ FORM_MUTATION_ALLOWLIST: Tuple[Tuple[str, str], ...] = (
 )
 
 BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Dotted call names that read a wall clock directly (SOLV005).
+CLOCK_CALL_NAMES = frozenset({"time.monotonic", "time.perf_counter", "time.time"})
+
+#: Path fragment SOLV005 applies to, and the file allowed to read the clock.
+CLOCK_SCOPE_FRAGMENT = "repro/optim/"
+CLOCK_ALLOWLIST: Tuple[Tuple[str, str], ...] = (("repro/optim/resilience.py", ""),)
 
 
 @dataclass(frozen=True)
@@ -157,7 +175,26 @@ class _SolverLinter(ast.NodeVisitor):
                 f"densification via {densifier} outside the sanctioned sites "
                 "(sparse.py, simplex._BasisFactor, Model.to_standard_form)",
             )
+        self._check_clock_read(node)
         self.generic_visit(node)
+
+    # -- SOLV005: naked clock reads in repro.optim --------------------------
+
+    def _check_clock_read(self, node: ast.Call) -> None:
+        if CLOCK_SCOPE_FRAGMENT not in _normalized(self.path):
+            return
+        dotted = _dotted_name(node.func)
+        if dotted not in CLOCK_CALL_NAMES:
+            return
+        if _in_allowlist(self.path, self.scopes, CLOCK_ALLOWLIST):
+            return
+        self._report(
+            node,
+            "SOLV005",
+            f"naked {dotted}() in repro.optim; thread a "
+            "repro.optim.resilience.Deadline instead so one skewable clock "
+            "governs every layer",
+        )
 
     # -- SOLV002: broad excepts --------------------------------------------
 
