@@ -30,6 +30,7 @@ Option              scipy     simplex    branch-and-bound
 ``presolve``        yes       yes        yes
 ``cuts``            --        --         yes
 ``max_cut_rounds``  --        --         yes
+``pricing``         ignored   yes        yes (node LPs)
 ``fallback``        yes       yes        yes
 ==================  ========  =========  ==================
 
@@ -37,6 +38,12 @@ Option              scipy     simplex    branch-and-bound
 ``mip_rel_gap`` semantics); ``gap_tol`` is the in-house branch-and-bound's
 absolute fathoming tolerance.  ``max_iter`` bounds simplex iterations, and on
 the branch-and-bound backend it is forwarded to every node LP solve.
+
+``pricing`` (``"auto"`` by default, ``"dantzig"`` | ``"devex"``) selects
+the in-house simplex entering rule (see :mod:`repro.optim.simplex`);
+unknown values raise ``ValueError`` at option-checking time.  HiGHS runs
+its own pricing, so the scipy backend accepts the option for portability
+but ignores it.
 
 ``time_limit`` (seconds, positive and finite -- anything else raises
 ``ValueError`` at option-checking time) is turned into a single
@@ -111,9 +118,11 @@ BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
 #: every backend.
 BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
     "scipy": frozenset(
-        {"time_limit", "mip_gap", "max_iter", "check", "presolve", "fallback"}
+        {"time_limit", "mip_gap", "max_iter", "check", "presolve", "pricing", "fallback"}
     ),
-    "simplex": frozenset({"max_iter", "time_limit", "check", "presolve", "fallback"}),
+    "simplex": frozenset(
+        {"max_iter", "time_limit", "check", "presolve", "pricing", "fallback"}
+    ),
     "branch-and-bound": frozenset(
         {
             "max_nodes",
@@ -125,6 +134,7 @@ BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
             "presolve",
             "cuts",
             "max_cut_rounds",
+            "pricing",
             "fallback",
         }
     ),
@@ -181,6 +191,11 @@ def _check_options(backend: str, options: Dict[str, Any]) -> None:
                 f"time_limit must be a positive finite number of seconds, "
                 f"got {time_limit!r}"
             )
+    pricing = options.get("pricing")
+    if pricing is not None:
+        from repro.optim.simplex import _validate_pricing
+
+        _validate_pricing(pricing)
 
 
 def _pop_check_mode(options: Dict[str, Any]) -> str:
@@ -288,7 +303,10 @@ def _dispatch_form(
         from repro.optim.simplex import solve_standard_form
 
         return solve_standard_form(
-            form, max_iter=options.get("max_iter", 100_000), deadline=deadline
+            form,
+            max_iter=options.get("max_iter", 100_000),
+            deadline=deadline,
+            pricing=options.get("pricing", "auto"),
         )
     # branch-and-bound
     from repro.optim.branch_and_bound import solve_milp
@@ -306,6 +324,7 @@ def _dispatch_form(
         max_iter=options.get("max_iter"),
         cuts=options.get("cuts", "auto"),
         max_cut_rounds=max_cut_rounds,
+        pricing=options.get("pricing", "auto"),
         deadline=deadline,
     )
 
@@ -620,7 +639,8 @@ class SolverSession:
             deadline = Deadline(time_limit) if time_limit is not None else None
             if self._simplex is None:
                 self._simplex = SimplexSolver(self.form)
-            elif self._coeffs_dirty:
+            self._simplex.pricing = merged.get("pricing", "auto")
+            if self._coeffs_dirty:
                 # Bounds, right-hand sides and objective coefficients are
                 # re-read by every solve; only matrix-coefficient patches
                 # require re-lowering the canonical arrays.

@@ -246,6 +246,7 @@ def _make_node_solver(
     lp_solver: Optional[Callable[[StandardForm], Solution]],
     max_iter: Optional[int],
     deadline: Optional[Deadline] = None,
+    pricing: str = "auto",
 ) -> Tuple[
     Callable[[np.ndarray, np.ndarray, object], Tuple[Solution, object]],
     Optional[object],
@@ -279,7 +280,7 @@ def _make_node_solver(
 
     from repro.optim.simplex import SimplexSolver
 
-    session = SimplexSolver(form, max_iter=max_iter or 100_000)
+    session = SimplexSolver(form, max_iter=max_iter or 100_000, pricing=pricing)
 
     def solve_simplex(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
         return session.solve(lb=lb, ub=ub, warm_basis=warm, deadline=deadline)
@@ -297,6 +298,7 @@ def solve_milp(
     time_limit: Optional[float] = None,
     cuts: str = "auto",
     max_cut_rounds: int = 5,
+    pricing: str = "auto",
     deadline: Optional[Deadline] = None,
 ) -> Solution:
     """Solve a mixed-integer program by branch and bound.
@@ -338,6 +340,11 @@ def solve_milp(
         baseline).
     max_cut_rounds:
         Maximum number of root separation rounds under ``cuts="auto"``.
+    pricing:
+        Simplex pricing rule for the in-house node LP path
+        (``"auto"`` | ``"dantzig"`` | ``"devex"``, see
+        :mod:`repro.optim.simplex`); ignored when nodes are solved by a
+        custom ``lp_solver`` or SciPy.
 
     Returns
     -------
@@ -354,7 +361,9 @@ def solve_milp(
         raise SolverError(f"cuts must be 'auto' or 'off', got {cuts!r}")
     if deadline is None and time_limit is not None:
         deadline = Deadline(time_limit)
-    node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter, deadline)
+    node_solver, simplex_session = _make_node_solver(
+        form, lp_solver, max_iter, deadline, pricing=pricing
+    )
     sign = -1.0 if form.maximize else 1.0
 
     # Cut-and-branch root loop: separate cover and (on the in-house simplex
@@ -382,7 +391,9 @@ def solve_milp(
                 break
             form = append_cut_rows(form, new_cuts)
             instr.add("cuts_added", len(new_cuts))
-            node_solver, simplex_session = _make_node_solver(form, lp_solver, max_iter, deadline)
+            node_solver, simplex_session = _make_node_solver(
+                form, lp_solver, max_iter, deadline, pricing=pricing
+            )
 
     def relaxation_cost(solution: Solution) -> float:
         """LP objective in minimization sense (undo the model-sense flip)."""
@@ -417,6 +428,7 @@ def solve_milp(
             max_nodes=max(budget, 1),
             gap_tol=gap_tol,
             max_iter=max_iter,
+            pricing=pricing,
             deadline=deadline,
             cuts="off",  # a zero objective makes every fractional point uncuttable
         )

@@ -5,7 +5,9 @@ of :mod:`repro.optim.backend` exist to survive rare numerical and
 environmental failures -- which makes them almost impossible to exercise
 with honest inputs.  This module lets a test *script* those failures
 deterministically: fail the Nth basis factorization, inject a NaN into the
-Nth entering pivot column, force the Nth warm-start dual repair to stall,
+Nth entering pivot column, poison the Nth stored Forrest-Tomlin spike (a
+*persistent* corruption that survives inside the eta file until the next
+refactorization), force the Nth warm-start dual repair to stall,
 raise from a chosen backend, or jump the deadline clock forward after the
 Nth expiry check.
 
@@ -50,6 +52,7 @@ __all__ = [
     "FACTORIZE",
     "FaultPlan",
     "PIVOT_FTRAN",
+    "SPIKE",
     "WARM_REPAIR",
     "clock_skew",
     "corrupt_vector",
@@ -65,6 +68,7 @@ ACTIVE = False
 #: Instrumented sites (occurrence counters are kept per site name).
 FACTORIZE = "factorize"        # _BasisFactor construction
 PIVOT_FTRAN = "pivot-ftran"    # FTRAN of an entering pivot column
+SPIKE = "spike"                # Forrest-Tomlin spike recorded by _BasisFactor.update
 WARM_REPAIR = "warm-repair"    # warm-start dual repair attempt
 DEADLINE = "deadline"          # Deadline expiry check
 BACKEND = "backend"            # backend dispatch, keyed "backend:<name>"
@@ -84,6 +88,11 @@ class FaultPlan:
     fail_factorizations: Tuple[int, ...] = ()
     #: Entering-column FTRANs (by occurrence) that get a NaN written in.
     corrupt_pivots: Tuple[int, ...] = ()
+    #: Stored Forrest-Tomlin spikes (by occurrence) that get a NaN written
+    #: in -- unlike a corrupted pivot the damage *persists* inside the eta
+    #: file, so every later FTRAN/BTRAN through it is poisoned until the
+    #: recovery ladder refactorizes.
+    corrupt_spikes: Tuple[int, ...] = ()
     #: Warm-start dual repairs (by occurrence) forced to report a stall.
     stall_warm_repairs: Tuple[int, ...] = ()
     #: Backend names whose dispatch raises while the plan is armed.
@@ -204,6 +213,9 @@ def corrupt_vector(site: str, vec: np.ndarray) -> np.ndarray:
     if armed is None:
         return vec
     if site == PIVOT_FTRAN and armed.scheduled(site, armed.plan.corrupt_pivots):
+        if vec.size:
+            vec[0] = np.nan
+    elif site == SPIKE and armed.scheduled(site, armed.plan.corrupt_spikes):
         if vec.size:
             vec[0] = np.nan
     return vec

@@ -26,10 +26,17 @@ from typing import Dict
 #: Counter names tracked by the solver stack.
 COUNTER_NAMES = (
     "pivots",             # primal simplex pivots (bound flips included)
+    "bound_flips",        # primal pivots that were pure bound flips (no basis change)
+    "degenerate_pivots",  # primal pivots with a (near-)zero objective step
     "dual_pivots",        # dual simplex (warm-start repair) pivots
     "factorizations",     # basis LU factorizations, initial ones included
     "refactorizations",   # periodic refactorizations triggered by eta growth
-    "eta_updates",        # product-form basis updates between factorizations
+    "eta_updates",        # basis updates between factorizations (all kinds)
+    "ft_updates",         # Forrest-Tomlin sparse-spike basis updates
+    "spike_nnz_peak",     # peak stored nonzeros across one factor's spike file
+    "pricing_passes",     # devex/partial pricing passes over candidate blocks
+    "devex_resets",       # devex reference-framework weight resets
+    "partial_scan_cols",  # columns scanned by partial pricing (sum over passes)
     "canonicalizations",  # StandardForm -> canonical bounded-LP lowerings
     "lp_solves",          # LP solves completed by the in-house simplex
     "peak_nnz",           # peak stored nonzeros (canonical matrix + eta file)
@@ -46,6 +53,8 @@ COUNTER_NAMES = (
     "warm_repair_stalls",    # warm-start dual repairs that stalled into a cold solve
     "recovery_refactorize",  # numerical retries on a fresh LU factorization
     "recovery_perturb",      # cost-perturbation retries (with post-solve cleanup)
+    "recovery_bound_shift",  # bound-shift retries for degenerate stalls (with repair)
+    "recovery_shift_fallback",  # proactive bound-shift solves that fell back to exact bounds
     "recovery_bland",        # forced-Bland-pricing retries
     "recovery_cold_restart", # last-ditch cold two-phase restarts
     "backend_failovers",     # fallback="auto" hops to another backend

@@ -121,6 +121,8 @@ _RUNG_COUNTERS = {
     "warm-stall": "warm_repair_stalls",
     "refactorize": "recovery_refactorize",
     "perturb": "recovery_perturb",
+    "bound-shift": "recovery_bound_shift",
+    "shift-fallback": "recovery_shift_fallback",
     "bland": "recovery_bland",
     "cold-restart": "recovery_cold_restart",
     "failover": "backend_failovers",

@@ -18,26 +18,51 @@ Instead of a dense tableau the solver keeps only the basis factorized:
 * an LU factorization of the basis matrix ``B`` (SuperLU via
   ``scipy.sparse.linalg.splu`` for larger bases when SciPy is importable, a
   dense LAPACK inverse otherwise),
-* a product-form eta file of the pivots applied since the last
-  factorization (each pivot is an O(m) rank-1 update token),
-* periodic refactorization every :data:`_REFACTOR_INTERVAL` etas, which
-  also recomputes the basic values to wash out drift.
+* a Forrest-Tomlin-style *sparse spike* file of the pivots applied since
+  the last factorization: each update stores only the nonzero entries of
+  the transformed entering column, so FTRAN/BTRAN pay O(nnz-of-spike) per
+  update instead of the O(m) dense product-form eta application (the
+  reference dense-eta implementation is kept behind the
+  ``REPRO_FORCE_DENSE_ETA`` env toggle for equivalence tests and as the
+  benchmark baseline),
+* adaptive refactorization, triggered by either an update-count cap or an
+  accumulated spike-nonzero budget, which also recomputes the basic values
+  to wash out drift.
 
 Per iteration the work is two triangular solves against the factorization
-(FTRAN/BTRAN), one O(nnz) sparse pricing pass and an O(m) state update --
-never the O(m*n) full-tableau pivot of the previous implementation.
+(FTRAN/BTRAN), one sparse pricing pass and an O(m) state update -- never
+the O(m*n) full-tableau pivot of the previous implementation.
 
-Pricing is Dantzig's rule with an automatic switch to Bland's smallest-index
-rule after :data:`_STALL_LIMIT` consecutive degenerate pivots, exactly as
-before.  Warm starts (branch-and-bound children, parameterized re-solves)
-restore the parent's basis *and* non-basic bound statuses, refactorize once,
-and repair primal feasibility with a bounded-variable dual simplex; when the
+Pricing is selected by the ``pricing`` option (``"auto"`` | ``"dantzig"``
+| ``"devex"``).  Dantzig's rule prices every column per iteration;
+``"devex"`` runs reference-framework devex pricing with *partial pricing*
+(cyclic candidate scans over contiguous column blocks, priced with
+:meth:`repro.optim.sparse.SparseMatrix.rmatvec_range`), approximating
+steepest-edge at a fraction of the cost on Rocketfuel-size bases.
+``"auto"`` resolves to devex above :data:`_DEVEX_MIN_COLS` canonical
+columns (overridable via the ``REPRO_PRICING`` env for CI matrix legs).
+Either way the solver switches to Bland's smallest-index rule after
+:data:`_STALL_LIMIT` consecutive degenerate pivots -- the anti-cycling
+escape stays the last rung regardless of pricing mode -- and a stall that
+survives even Bland (:data:`_STALL_ABORT` consecutive zero-step pivots, the
+signature of *primal* degeneracy, which no pricing or cost perturbation can
+cure) aborts with :class:`_DegenerateStall` so the recovery ladder's
+bound-shift rung can resolve it on slightly expanded bounds.  The dual
+warm-repair loop uses devex *row* weights for its leaving-row choice under
+``"devex"``; its entering-column choice remains a full bounded ratio test
+(dual feasibility of the repaired basis requires scanning every eligible
+column, so partial pricing is unsound there).
+
+Warm starts (branch-and-bound children, parameterized re-solves) restore
+the parent's basis *and* non-basic bound statuses, refactorize once, and
+repair primal feasibility with a bounded-variable dual simplex; when the
 basis is already primal feasible phase 1 is skipped outright.
 
 Options honored (see :func:`repro.optim.backend.solve_model`):
 
 ===============  ==========================================================
 ``max_iter``     Iteration limit applied to each simplex phase.
+``pricing``      ``"auto"`` (default) | ``"dantzig"`` | ``"devex"``.
 warm start       Via :meth:`SimplexSolver.solve` ``warm_basis=``; a basis
                  returned by a previous solve is re-factorized and repaired
                  with dual simplex pivots (or resumed directly when still
@@ -79,11 +104,45 @@ _PHASE1_TOL = 1e-7
 #: pricing rule falls back from Dantzig to Bland's anti-cycling rule.
 _STALL_LIMIT = 32
 
-#: Eta-file length that triggers a basis refactorization.  Every FTRAN /
-#: BTRAN pays O(m) per recorded eta, so short eta files beat long ones as
+#: Number of consecutive degenerate pivots after which the primal loop gives
+#: up on walking the degenerate path (even under Bland's rule) and raises
+#: :class:`_DegenerateStall` so the recovery ladder can shift bounds instead.
+_STALL_ABORT = 2048
+
+#: Column count from which a *cold* solve starts on shifted bounds
+#: proactively (solve the expanded LP, restore the true bounds, repair with
+#: warm-start dual pivots) instead of waiting for a degenerate stall to
+#: trigger the same machinery as a recovery rung.  Large placement LPs are
+#: massively primal degenerate and stall almost surely without it; small
+#: LPs (unit tests, branch-and-bound node relaxations) keep the exact
+#: unshifted path.
+_SHIFT_PROACTIVE_COLS = 600
+
+#: Dense-eta-file length that triggers a basis refactorization.  A dense
+#: eta costs O(m) per FTRAN / BTRAN, so short eta files beat long ones as
 #: soon as refactorization is cheap; 16 measured best on the pop10
 #: placement MILPs (3.5s vs 7.0s at 64 for the 80-traffic PPME tree).
 _REFACTOR_INTERVAL = 16
+
+#: Hard cap on Forrest-Tomlin spike updates between refactorizations.  A
+#: spike costs only O(nnz-of-spike), so large bases can profitably carry
+#: far more updates than the dense path; small bases stay on a 2m cap
+#: (refactorization is nearly free there), see
+#: :meth:`_BasisFactor.needs_refactor`.
+_FT_MAX_UPDATES = 48
+
+#: Spike-file nonzero budget: refactorize once the accumulated spike
+#: nonzeros exceed ``_FT_NNZ_PER_ROW * m + _FT_NNZ_BASE`` -- the point
+#: where applying the spike file starts rivaling a fresh factorization
+#: (48 updates / 12 nnz-per-row measured best on the synthetic-Rocketfuel
+#: root relaxations, m ~ 800-1000).
+_FT_NNZ_PER_ROW = 12
+_FT_NNZ_BASE = 128
+
+#: Entries below this magnitude are dropped when a transformed entering
+#: column is compressed into a spike (they are numerical noise relative to
+#: EPS-sized pivot tolerances and only inflate the spike file).
+_SPIKE_DROP_TOL = 1e-12
 
 #: Below this basis dimension a dense LAPACK factorization beats SuperLU's
 #: setup overhead even when SciPy is importable.
@@ -97,6 +156,53 @@ _DEADLINE_STRIDE = 32
 #: Env toggle forcing the dense-inverse factor path even when SuperLU is
 #: importable -- CI runs the fault-injection suite under both factor paths.
 _FORCE_DENSE_LU = os.environ.get("REPRO_FORCE_DENSE_LU", "") not in ("", "0")
+
+#: Env toggle forcing the reference dense product-form eta file instead of
+#: Forrest-Tomlin sparse spikes -- the equivalence tests and the benchmark
+#: baseline flip this (tests patch the module attribute in-process, so it
+#: is read per factorization, not cached at import).
+_FORCE_DENSE_ETA = os.environ.get("REPRO_FORCE_DENSE_ETA", "") not in ("", "0")
+
+#: Valid values of the ``pricing`` solver option.
+PRICING_MODES = ("auto", "dantzig", "devex")
+
+#: ``pricing="auto"`` resolves to devex at or above this many canonical
+#: columns; below it a full Dantzig sweep is one cheap vector op and the
+#: devex bookkeeping does not pay for itself.  Aligned with
+#: :data:`_SHIFT_PROACTIVE_COLS`: from this size on the placement LPs are
+#: degenerate enough that Dantzig's fixed most-negative rule stalls where
+#: the devex reference framework prices out of the degenerate cone.
+_DEVEX_MIN_COLS = 600
+
+#: Env override of ``pricing="auto"`` resolution -- lets a CI matrix leg
+#: force devex across an entire test suite without touching call sites.
+#: Explicit ``pricing="dantzig"`` / ``"devex"`` arguments still win.
+_PRICING_ENV = os.environ.get("REPRO_PRICING", "")
+
+#: Column-block width of the partial-pricing candidate scans.
+_PARTIAL_BLOCK = 512
+
+#: Devex reference weights are reset to 1.0 once any weight exceeds this
+#: (the reference framework has drifted too far to steer well).
+_DEVEX_RESET_LIMIT = 1e7
+
+
+def _validate_pricing(pricing: str) -> str:
+    """Validate a ``pricing`` option value, mirroring ``time_limit`` style."""
+    if pricing not in PRICING_MODES:
+        raise ValueError(
+            f"pricing must be one of {PRICING_MODES}, got {pricing!r}"
+        )
+    return pricing
+
+
+def _resolve_pricing(pricing: str, n_cols: int) -> str:
+    """Resolve ``"auto"`` to a concrete rule for an ``n_cols``-column LP."""
+    if pricing == "auto" and _PRICING_ENV in ("dantzig", "devex"):
+        return _PRICING_ENV
+    if pricing == "auto":
+        return "devex" if n_cols >= _DEVEX_MIN_COLS else "dantzig"
+    return pricing
 
 try:  # pragma: no cover - exercised implicitly via _BasisFactor
     from scipy.sparse import csc_matrix as _scipy_csc
@@ -287,8 +393,9 @@ class _NumericalTrouble(Exception):
     """Base of recoverable numerical failures inside the simplex.
 
     :meth:`SimplexSolver.solve` catches this hierarchy and walks the
-    recovery ladder (refactorize -> cost perturbation -> Bland pricing ->
-    cold restart) instead of surfacing an :class:`InternalSolverError`.
+    recovery ladder (refactorize -> cost perturbation -> bound shift ->
+    Bland pricing -> cold restart) instead of surfacing an
+    :class:`InternalSolverError`.
     """
 
 
@@ -300,15 +407,47 @@ class _NonFinitePivot(_NumericalTrouble):
     """A pivot column or dual row came back with NaN/Inf entries."""
 
 
+class _DegenerateStall(_NumericalTrouble):
+    """The primal loop made :data:`_STALL_ABORT` zero-step pivots in a row.
+
+    Bland's rule guarantees *finite* termination, not fast termination: on
+    massively primal-degenerate LPs (covering rows, duplicated constraints)
+    the degenerate path out of a vertex can run to hundreds of thousands of
+    pivots.  Escalating to the recovery ladder's bound-shift rung -- which
+    perturbs the *bounds*, the actual source of zero-length steps -- is
+    orders of magnitude cheaper than grinding through it.
+    """
+
+
 class _BasisFactor:
-    """LU factorization of the basis plus a product-form eta file.
+    """LU factorization of the basis plus a Forrest-Tomlin spike file.
 
     ``ftran`` solves ``B x = rhs`` and ``btran`` solves ``B^T y = rhs``;
     both first go through the LU factors of the basis as of the last
-    (re)factorization, then through the O(m) eta updates recorded since.
+    (re)factorization, then through the basis updates recorded since.
+
+    Updates are stored as *sparse spikes*: the pivot row, the pivot value
+    and the compressed nonzeros of the transformed entering column (the
+    permutation bookkeeping is implicit -- the pivot row index plays the
+    role of Forrest-Tomlin's row permutation, exactly as in the dense
+    product form, so applying a spike is O(nnz-of-spike) instead of O(m)).
+    The reference dense-eta representation is kept behind
+    :data:`_FORCE_DENSE_ETA` (read once per factorization so a factor is
+    internally consistent even when tests flip the toggle between solves).
     """
 
-    __slots__ = ("m", "stamp", "_etas_r", "_etas_w", "_splu", "_inv", "_base_nnz")
+    __slots__ = (
+        "m",
+        "stamp",
+        "_dense_etas",
+        "_etas_r",
+        "_etas_w",
+        "_spikes",
+        "_spike_nnz",
+        "_splu",
+        "_inv",
+        "_base_nnz",
+    )
 
     def __init__(self, lp: _CanonicalLP, basis: np.ndarray, art_sign: np.ndarray) -> None:
         if faultinject.ACTIVE:
@@ -316,8 +455,14 @@ class _BasisFactor:
         m, n_cols = lp.m, lp.n
         self.m = m
         self.stamp = lp.stamp
+        self._dense_etas = _FORCE_DENSE_ETA
         self._etas_r: List[int] = []
         self._etas_w: List[np.ndarray] = []
+        # Spike tuples (pivot row, pivot value, nonzero rows, nonzero values);
+        # the arrays are never written after creation, so clones may share
+        # tuples and only copy the list spine.
+        self._spikes: List[Tuple[int, float, np.ndarray, np.ndarray]] = []
+        self._spike_nnz = 0
         self._splu = None
         self._inv = None
         instr.add("factorizations")
@@ -378,11 +523,15 @@ class _BasisFactor:
         instr.record_max("peak_nnz", lp.A.nnz + self._base_nnz)
 
     def clone(self) -> "_BasisFactor":
-        """Copy-on-write duplicate: shared immutable LU base, private etas.
+        """Copy-on-write duplicate: shared immutable LU base, private updates.
 
         Lets a warm start resume from the factorization stored in a
         :class:`_Basis` token without refactorizing and without corrupting
-        siblings that hold the same token.
+        siblings that hold the same token.  Only the list *spines* are
+        copied: the eta vectors and spike tuples themselves are immutable
+        by construction (``update`` always appends freshly-allocated
+        arrays and never writes into a stored one), so a child appending
+        its own updates can never mutate a parent's.
         """
         dup = object.__new__(_BasisFactor)
         dup.m = self.m
@@ -390,23 +539,49 @@ class _BasisFactor:
         dup._splu = self._splu
         dup._inv = self._inv
         dup._base_nnz = self._base_nnz
+        dup._dense_etas = self._dense_etas
         dup._etas_r = list(self._etas_r)
         dup._etas_w = list(self._etas_w)
+        dup._spikes = list(self._spikes)
+        dup._spike_nnz = self._spike_nnz
         return dup
 
-    # -- eta file ----------------------------------------------------------
+    # -- update file (dense etas or Forrest-Tomlin spikes) ------------------
     @property
     def n_etas(self) -> int:
-        return len(self._etas_r)
+        return len(self._etas_r) + len(self._spikes)
 
     def needs_refactor(self) -> bool:
-        return len(self._etas_r) >= _REFACTOR_INTERVAL
+        if self._dense_etas:
+            return len(self._etas_r) >= _REFACTOR_INTERVAL
+        # Small bases refactorize almost for free, so cap their update
+        # count near the dense interval; large bases run up to
+        # _FT_MAX_UPDATES spikes or the nonzero budget, whichever first.
+        cap = min(_FT_MAX_UPDATES, max(_REFACTOR_INTERVAL, 2 * self.m))
+        return (
+            len(self._spikes) >= cap
+            or self._spike_nnz > _FT_NNZ_PER_ROW * self.m + _FT_NNZ_BASE
+        )
 
     def update(self, row: int, w: np.ndarray) -> None:
         """Record the pivot ``basis[row] <- column with B^-1 a_q == w``."""
-        self._etas_r.append(int(row))
-        self._etas_w.append(w)
+        r = int(row)
         instr.add("eta_updates")
+        if self._dense_etas:
+            self._etas_r.append(r)
+            self._etas_w.append(w)
+            return
+        piv = float(w[r])
+        keep = np.abs(w) > _SPIKE_DROP_TOL
+        keep[r] = False
+        idx = np.flatnonzero(keep)
+        vals = w[idx]  # fancy indexing: a fresh array, never a view of w
+        if faultinject.ACTIVE:
+            vals = faultinject.corrupt_vector(faultinject.SPIKE, vals)
+        self._spikes.append((r, piv, idx, vals))
+        self._spike_nnz += int(idx.size) + 1
+        instr.add("ft_updates")
+        instr.record_max("spike_nnz_peak", self._spike_nnz)
 
     # -- solves ------------------------------------------------------------
     def _base_solve(self, rhs: np.ndarray) -> np.ndarray:
@@ -420,19 +595,36 @@ class _BasisFactor:
         return self._inv.T @ rhs
 
     def ftran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B x = rhs`` (LU, then etas oldest-first)."""
+        """Solve ``B x = rhs`` (LU, then updates oldest-first)."""
         x = self._base_solve(rhs)
-        for r, w in zip(self._etas_r, self._etas_w):
-            xr = x[r] / w[r]
-            x -= w * xr
+        if self._dense_etas:
+            for r, w in zip(self._etas_r, self._etas_w):
+                xr = x[r] / w[r]
+                x -= w * xr
+                x[r] = xr
+            return x
+        for r, piv, idx, vals in self._spikes:
+            xr = x[r] / piv
+            # Skip-on-zero: entering columns are sparse, so most spikes see
+            # a zero pivot-row value and cost nothing (NaN != 0 keeps an
+            # injected poison propagating).
+            if xr != 0.0 and idx.size:
+                x[idx] -= vals * xr
             x[r] = xr
         return x
 
     def btran(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``B^T y = rhs`` (etas newest-first, then LU transpose)."""
+        """Solve ``B^T y = rhs`` (updates newest-first, then LU transpose)."""
         v = rhs.astype(float, copy=True)
-        for r, w in zip(reversed(self._etas_r), reversed(self._etas_w)):
-            v[r] = (v[r] - (w @ v - w[r] * v[r])) / w[r]
+        if self._dense_etas:
+            for r, w in zip(reversed(self._etas_r), reversed(self._etas_w)):
+                v[r] = (v[r] - (w @ v - w[r] * v[r])) / w[r]
+            return self._base_solve_T(v)
+        for r, piv, idx, vals in reversed(self._spikes):
+            vr = v[r]
+            if idx.size:
+                vr -= float(vals @ v[idx])
+            v[r] = vr / piv
         return self._base_solve_T(v)
 
 
@@ -486,12 +678,109 @@ class _State:
         return x[: self.lp.n]
 
 
+class _DevexPricer:
+    """Devex reference-framework pricing with partial (block) scans.
+
+    Columns are priced in contiguous blocks of :data:`_PARTIAL_BLOCK`
+    via :meth:`SparseMatrix.rmatvec_range`; a cyclic cursor resumes at the
+    block that last produced the entering column, so a pricing pass touches
+    one block in the common case instead of every stored matrix entry.
+    Within a block the entering column maximizes ``d_j^2 / w_j`` where the
+    reference weights ``w_j`` approximate steepest-edge column norms and
+    are maintained with the Forrest-Goldfarb devex recurrence (restricted
+    to the priced block -- untouched blocks keep their last weights, which
+    is the standard partial-devex compromise).  Weights reset to the unit
+    reference framework once any weight exceeds
+    :data:`_DEVEX_RESET_LIMIT`.
+    """
+
+    __slots__ = ("weights", "bounds", "cursor", "scan_lo", "scan_hi")
+
+    def __init__(self, n_cols: int) -> None:
+        self.weights = np.ones(n_cols)
+        self.bounds = list(range(0, n_cols, _PARTIAL_BLOCK)) + [n_cols]
+        self.cursor = 0
+        self.scan_lo = 0
+        self.scan_hi = 0
+
+    def select(
+        self,
+        A: SparseMatrix,
+        costs: np.ndarray,
+        y: np.ndarray,
+        vstat: np.ndarray,
+        movable: np.ndarray,
+    ) -> Tuple[int, float]:
+        """Pick the entering column; ``(-1, 0.0)`` means priced optimal.
+
+        Scans blocks cyclically from the cursor and stops at the first
+        block holding an eligible candidate -- a full sweep only happens
+        when the solve is (nearly) optimal.
+        """
+        instr.add("pricing_passes")
+        nblocks = len(self.bounds) - 1
+        scanned = 0
+        for k in range(nblocks):
+            blk = (self.cursor + k) % nblocks
+            lo, hi = self.bounds[blk], self.bounds[blk + 1]
+            d_blk = costs[lo:hi] - A.rmatvec_range(lo, hi, y)
+            st = vstat[lo:hi]
+            eligible = movable[lo:hi] & (
+                ((st == AT_LOWER) & (d_blk < -EPS)) | ((st == AT_UPPER) & (d_blk > EPS))
+            )
+            scanned += hi - lo
+            idx = np.flatnonzero(eligible)
+            if idx.size:
+                score = d_blk[idx] ** 2 / self.weights[lo + idx]
+                j = int(idx[int(np.argmax(score))])
+                # Round-robin: resume the next pass at the *following* block.
+                # Parking the cursor on the hit block starves the rest of the
+                # matrix -- on degenerate LPs one block of marginal zero-step
+                # candidates can trap the whole solve.
+                self.cursor = (blk + 1) % nblocks
+                self.scan_lo, self.scan_hi = lo, hi
+                instr.add("partial_scan_cols", scanned)
+                return lo + j, float(d_blk[j])
+        instr.add("partial_scan_cols", scanned)
+        return -1, 0.0
+
+    def on_pivot(
+        self,
+        A: SparseMatrix,
+        q: int,
+        r: int,
+        w: np.ndarray,
+        leaving: int,
+        rho: np.ndarray,
+    ) -> None:
+        """Forrest-Goldfarb weight update for the pivot ``q`` enters at row
+        ``r``.  ``rho`` is ``B^-T e_r`` of the *pre-pivot* basis -- the
+        caller BTRANs it once and shares it with the incremental dual
+        update."""
+        alpha_q = float(w[r])
+        if alpha_q == 0.0 or not math.isfinite(alpha_q):
+            return
+        w_q = float(self.weights[q])
+        lo, hi = self.scan_lo, self.scan_hi
+        if hi > lo:
+            alpha_blk = A.rmatvec_range(lo, hi, rho)
+            cand = (alpha_blk / alpha_q) ** 2 * w_q
+            if np.all(np.isfinite(cand)):
+                np.maximum(self.weights[lo:hi], cand, out=self.weights[lo:hi])
+        if 0 <= leaving < self.weights.size:
+            self.weights[leaving] = max(w_q / (alpha_q * alpha_q), 1.0)
+        if float(self.weights.max()) > _DEVEX_RESET_LIMIT:
+            self.weights[:] = 1.0
+            instr.add("devex_resets")
+
+
 def _primal_iterations(
     state: _State,
     costs: np.ndarray,
     max_iter: int,
     deadline: Optional[Deadline] = None,
     bland: bool = False,
+    pricing: str = "dantzig",
 ) -> Tuple[str, int]:
     """Bounded-variable primal revised simplex.
 
@@ -501,15 +790,21 @@ def _primal_iterations(
     improves the objective in the direction their bound allows; the ratio
     test accounts for both bounds of every basic variable and for the
     entering variable's own opposite bound (a "bound flip", which costs no
-    basis change at all).  ``bland=True`` forces Bland's anti-cycling rule
-    from the first pivot -- the recovery ladder's answer to numerical
-    cycling under Dantzig pricing.
+    basis change at all).  ``pricing`` selects the entering rule
+    (``"dantzig"`` or ``"devex"``, already resolved from ``"auto"``);
+    ``bland=True`` forces Bland's anti-cycling rule from the first pivot --
+    the recovery ladder's answer to numerical cycling, and the same full
+    Bland sweep takes over either rule after :data:`_STALL_LIMIT`
+    consecutive degenerate pivots.
     """
     lp = state.lp
     A, m, n_cols = lp.A, lp.m, lp.n
     movable = state.lower_ext[:n_cols] < state.upper_ext[:n_cols]
+    pricer = _DevexPricer(n_cols) if (pricing == "devex" and not bland) else None
     iterations = 0
     stalled = _STALL_LIMIT if bland else 0
+    y: Optional[np.ndarray] = None  # dual prices; None = must recompute
+    y_exact = False  # True when y was BTRANed from scratch this iteration
     while iterations < max_iter:
         if (
             deadline is not None
@@ -519,20 +814,51 @@ def _primal_iterations(
             return "deadline", iterations
         if state.factor.needs_refactor():
             state.refactor()
-        y = state.factor.btran(costs[state.basis])
-        d = costs[:n_cols] - A.rmatvec(y)
-        eligible = movable & (
-            ((state.vstat[:n_cols] == AT_LOWER) & (d < -EPS))
-            | ((state.vstat[:n_cols] == AT_UPPER) & (d > EPS))
-        )
-        idx = np.flatnonzero(eligible)
-        if idx.size == 0:
-            return "optimal", iterations
-        if stalled >= _STALL_LIMIT:
-            q = int(idx[0])  # Bland's anti-cycling rule
+            y = None
+        devex_mode = pricer is not None and stalled < _STALL_LIMIT
+        if y is None or not devex_mode:
+            # Dantzig/Bland reprice from scratch every iteration.  Devex
+            # maintains y *incrementally* (one axpy with the rho vector its
+            # weight update BTRANs anyway) and recomputes it only at
+            # refactorizations -- saving a full BTRAN per pivot.
+            y = state.factor.btran(costs[state.basis])
+            y_exact = True
         else:
-            q = int(idx[np.argmax(np.abs(d[idx]))])  # Dantzig
-        sigma = 1.0 if d[q] < 0 else -1.0
+            y_exact = False
+        if not np.all(np.isfinite(y)):
+            # A poisoned update (e.g. an injected spike corruption) NaNs the
+            # dual prices; without this check the NaN reduced costs would
+            # price as "no candidate" and return a bogus "optimal".
+            raise _NonFinitePivot("dual prices came back non-finite from BTRAN")
+        if devex_mode:
+            q, dq = pricer.select(A, costs, y, state.vstat, movable)
+            if q < 0:
+                if y_exact:
+                    return "optimal", iterations
+                # Optimality judged on drifted duals is not proof: confirm
+                # on an exact BTRAN before declaring it.
+                y = state.factor.btran(costs[state.basis])
+                y_exact = True
+                if not np.all(np.isfinite(y)):
+                    raise _NonFinitePivot("dual prices came back non-finite from BTRAN")
+                q, dq = pricer.select(A, costs, y, state.vstat, movable)
+                if q < 0:
+                    return "optimal", iterations
+        else:
+            d = costs[:n_cols] - A.rmatvec(y)
+            eligible = movable & (
+                ((state.vstat[:n_cols] == AT_LOWER) & (d < -EPS))
+                | ((state.vstat[:n_cols] == AT_UPPER) & (d > EPS))
+            )
+            idx = np.flatnonzero(eligible)
+            if idx.size == 0:
+                return "optimal", iterations
+            if stalled >= _STALL_LIMIT:
+                q = int(idx[0])  # Bland's anti-cycling rule
+            else:
+                q = int(idx[np.argmax(np.abs(d[idx]))])  # Dantzig
+            dq = float(d[q])
+        sigma = 1.0 if dq < 0 else -1.0
 
         col = A.gather_col(q, np.zeros(m))
         w = state.factor.ftran(col)
@@ -562,9 +888,18 @@ def _primal_iterations(
             state.xB -= t_flip * wd
             state.vstat[q] = AT_UPPER if sigma > 0 else AT_LOWER
             step = t_flip
+            instr.add("bound_flips")
         else:
             ties = np.flatnonzero(t <= t_basic + EPS)
-            r = int(ties[np.argmin(state.basis[ties])])
+            if stalled >= _STALL_LIMIT:
+                # Bland mode: lowest basis index among ties -- required for
+                # the finite-termination guarantee of Bland's rule.
+                r = int(ties[np.argmin(state.basis[ties])])
+            else:
+                # Largest pivot magnitude among ties: the numerically stable
+                # choice, and on degenerate vertices it leaves the tie set
+                # far faster than a fixed-index rule.
+                r = int(ties[np.argmax(np.abs(wd[ties]))])
             leaving = int(state.basis[r])
             state.xB -= t_basic * wd
             enter_from = state.lower_ext[q] if sigma > 0 else state.upper_ext[q]
@@ -572,14 +907,38 @@ def _primal_iterations(
             state.vstat[leaving] = AT_LOWER if wd[r] > 0 else AT_UPPER
             state.vstat[q] = BASIC
             state.basis[r] = q
+            if devex_mode:
+                # rho = B^-T e_r of the *pre-pivot* basis, shared by the
+                # devex weight recurrence and the incremental dual update
+                # y' = y + (d_q / alpha_rq) rho  (zeroes the entering
+                # reduced cost exactly as the basis-change algebra demands).
+                e_r = np.zeros(m)
+                e_r[r] = 1.0
+                rho = state.factor.btran(e_r)
+                pricer.on_pivot(A, q, r, w, leaving, rho)
+                wr = float(w[r])
+                if wr != 0.0 and math.isfinite(wr):
+                    y = y + (dq / wr) * rho
+                else:
+                    y = None
+            elif pricer is not None:
+                # A Bland-escape pivot while devex is parked: the cached
+                # duals are stale after this basis change.
+                y = None
             state.factor.update(r, w)
             step = t_basic
         iterations += 1
         instr.add("pivots")
-        if abs(d[q]) * step > EPS:
+        if abs(dq) * step > EPS:
             stalled = 0
         else:
             stalled += 1
+            instr.add("degenerate_pivots")
+            if stalled >= _STALL_ABORT + (_STALL_LIMIT if bland else 0):
+                raise _DegenerateStall(
+                    f"{stalled} consecutive degenerate pivots "
+                    f"(after {iterations} iterations)"
+                )
     raise SolverError(f"simplex did not converge within {max_iter} iterations")
 
 
@@ -594,6 +953,7 @@ def _dual_iterations(
     max_iter: int,
     d: Optional[np.ndarray] = None,
     deadline: Optional[Deadline] = None,
+    pricing: str = "dantzig",
 ) -> Tuple[str, int]:
     """Restore primal feasibility of a dual-feasible factorized basis.
 
@@ -608,6 +968,13 @@ def _dual_iterations(
     sparse row pass per pivot instead of a from-scratch pricing -- and
     recomputed exactly at every refactorization to wash out drift.
 
+    Under ``pricing="devex"`` the *leaving-row* choice weighs each row's
+    violation by a devex row weight (the dual analogue of reference-
+    framework pricing: ``viol_r^2 / w_r`` approximates the steepest-edge
+    row norm); the entering-column choice stays a full bounded ratio test
+    in every mode -- dual feasibility of the repaired basis requires
+    scanning all eligible columns, so partial pricing is unsound here.
+
     Returns ``("feasible", iters)`` when every basic value is back inside
     its bounds, ``("infeasible", iters)`` when a violated row admits no
     entering column (proof of primal infeasibility), ``("deadline", iters)``
@@ -620,6 +987,7 @@ def _dual_iterations(
     movable = state.lower_ext[:n_cols] < state.upper_ext[:n_cols]
     if d is None:
         d = _reduced_costs(state, costs)
+    dweights = np.ones(m) if pricing == "devex" else None
     iterations = 0
     while iterations < max_iter:
         if (
@@ -638,7 +1006,13 @@ def _dual_iterations(
         viol = np.maximum(below, above)
         if m == 0 or viol.max() <= _WARM_FEAS_TOL:
             return "feasible", iterations
-        r = int(np.argmax(viol))
+        if dweights is None:
+            r = int(np.argmax(viol))
+        else:
+            scores = np.full(m, -math.inf)
+            sel = viol > _WARM_FEAS_TOL
+            scores[sel] = viol[sel] * viol[sel] / dweights[sel]
+            r = int(np.argmax(scores))
         below_case = below[r] >= above[r]
 
         e_r = np.zeros(m)
@@ -709,6 +1083,19 @@ def _dual_iterations(
             state.vstat[q] = BASIC
             state.basis[r] = q
             state.factor.update(r, w)
+            if dweights is not None:
+                # Devex row-weight recurrence: rows touched by the pivot
+                # inherit at least the scaled pivot-row weight; the pivot
+                # row's own weight is rescaled by the pivot element.
+                wr = float(w[r])
+                ref = dweights[r]
+                cand = (w / wr) ** 2 * ref
+                if np.all(np.isfinite(cand)):
+                    np.maximum(dweights, cand, out=dweights)
+                dweights[r] = max(ref / (wr * wr), 1.0)
+                if float(dweights.max()) > _DEVEX_RESET_LIMIT:
+                    dweights[:] = 1.0
+                    instr.add("devex_resets")
             # Incremental dual-price update: d_j' = d_j - theta * alpha_j with
             # theta = d_q / alpha_q; the entering column becomes basic (d = 0)
             # and the leaving variable's price is exactly -theta.
@@ -733,11 +1120,14 @@ def _finish_primal(
     dual_iters: int,
     deadline: Optional[Deadline] = None,
     bland: bool = False,
+    pricing: str = "dantzig",
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
     """Run phase-2 primal pivots and package the result tuple."""
     lp = state.lp
     costs = np.concatenate((lp.c, np.zeros(lp.m)))
-    status, iters = _primal_iterations(state, costs, max_iter, deadline=deadline, bland=bland)
+    status, iters = _primal_iterations(
+        state, costs, max_iter, deadline=deadline, bland=bland, pricing=pricing
+    )
     total = dual_iters + iters
     if status in ("unbounded", "deadline"):
         return status, None, total, None
@@ -758,6 +1148,7 @@ def _cold_solve(
     max_iter: int,
     deadline: Optional[Deadline] = None,
     bland: bool = False,
+    pricing: str = "dantzig",
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
     """Two-phase solve from a crash basis of slacks and signed artificials."""
     m, n_cols = lp.m, lp.n
@@ -789,6 +1180,12 @@ def _cold_solve(
     state = _State(lp, basis, vstat, art_sign, lower_ext, upper_ext)
     state.factorize()
     state.xB = resid.copy()
+    # ``resid`` was computed with every slack at its lower bound; a slack
+    # made basic must absorb its own x0 contribution back.  A no-op for the
+    # usual zero slack bound, but the bound-shift recovery rung solves with
+    # slack lower bounds pushed slightly negative.
+    if slack_rows.size:
+        state.xB[slack_rows] += lower_ext[basis[slack_rows]]
     state.xB[art_rows] = np.abs(resid[art_rows])
 
     phase1_iters = 0
@@ -798,7 +1195,7 @@ def _cold_solve(
         unused_arts = n_cols + slack_rows
         upper_ext[unused_arts] = 0.0
         status, phase1_iters = _primal_iterations(
-            state, costs1, max_iter, deadline=deadline, bland=bland
+            state, costs1, max_iter, deadline=deadline, bland=bland, pricing=pricing
         )
         if status == "deadline":
             return "deadline", None, phase1_iters, None
@@ -812,7 +1209,9 @@ def _cold_solve(
         upper_ext[n_cols:] = 0.0
         state.xB[art_basic] = 0.0
 
-    return _finish_primal(state, max_iter, phase1_iters, deadline=deadline, bland=bland)
+    return _finish_primal(
+        state, max_iter, phase1_iters, deadline=deadline, bland=bland, pricing=pricing
+    )
 
 
 def _warm_solve(
@@ -821,6 +1220,7 @@ def _warm_solve(
     max_iter: int,
     deadline: Optional[Deadline] = None,
     fresh_factor: bool = False,
+    pricing: str = "dantzig",
 ) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
     """Resume from a previous basis; ``None`` means fall back to a cold solve.
 
@@ -900,13 +1300,15 @@ def _warm_solve(
     primal_ok = bool(np.all(state.xB >= lB - _WARM_FEAS_TOL) and np.all(state.xB <= uB + _WARM_FEAS_TOL))
     if primal_ok:
         np.clip(state.xB, lB, uB, out=state.xB)
-        return _finish_primal(state, max_iter, 0, deadline=deadline)
+        return _finish_primal(state, max_iter, 0, deadline=deadline, pricing=pricing)
     if not dual_ok:
         return None
     if faultinject.ACTIVE and faultinject.should(faultinject.WARM_REPAIR):
         dual_status, dual_iters = "stalled", 0
     else:
-        dual_status, dual_iters = _dual_iterations(state, costs, max_iter, d=d, deadline=deadline)
+        dual_status, dual_iters = _dual_iterations(
+            state, costs, max_iter, d=d, deadline=deadline, pricing=pricing
+        )
     if dual_status == "infeasible":
         return "infeasible", None, dual_iters, None
     if dual_status == "deadline":
@@ -920,7 +1322,7 @@ def _warm_solve(
             "falling back to a cold two-phase solve",
         )
         return None
-    return _finish_primal(state, max_iter, dual_iters, deadline=deadline)
+    return _finish_primal(state, max_iter, dual_iters, deadline=deadline, pricing=pricing)
 
 
 def _solution_from_canonical(
@@ -957,7 +1359,10 @@ _PERTURB_SEED = 0x5EED
 
 
 def _perturbed_solve(
-    lp: _CanonicalLP, max_iter: int, deadline: Optional[Deadline]
+    lp: _CanonicalLP,
+    max_iter: int,
+    deadline: Optional[Deadline],
+    pricing: str = "dantzig",
 ) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
     """Cold solve under deterministically perturbed costs, then unperturb.
 
@@ -974,7 +1379,7 @@ def _perturbed_solve(
     jitter = 1e-7 * (1.0 + np.abs(saved_c)) * rng.random(saved_c.shape)
     lp.c = saved_c + jitter
     try:
-        result = _cold_solve(lp, max_iter, deadline=deadline)
+        result = _cold_solve(lp, max_iter, deadline=deadline, pricing=pricing)
     finally:
         lp.c = saved_c
     status, _y, iters, token = result
@@ -983,34 +1388,109 @@ def _perturbed_solve(
     if status != "optimal" or token is None:
         # "unbounded" under jittered costs is not proof for the true costs.
         return None
-    cleanup = _warm_solve(lp, token, max_iter, deadline=deadline)
+    cleanup = _warm_solve(lp, token, max_iter, deadline=deadline, pricing=pricing)
     return cleanup
 
 
+def _bound_shifted_solve(
+    lp: _CanonicalLP,
+    max_iter: int,
+    deadline: Optional[Deadline],
+    pricing: str = "dantzig",
+) -> Optional[Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]]:
+    """Cold solve under deterministically *expanded* bounds, then repair.
+
+    Zero-length steps come from basic variables sitting exactly on a bound
+    -- primal degeneracy, which no cost jitter can remove.  Shifting every
+    finite bound outward by a tiny deterministic amount makes ratio-test
+    ties (and hence degenerate pivots) vanish almost surely.  Because the
+    true feasible region is *contained* in the shifted one and the costs
+    are untouched, ``infeasible`` and ``unbounded`` answers stand as-is.
+    An ``optimal`` basis is repaired by restoring the true bounds and
+    resuming via :func:`_warm_solve`: the reduced costs are exact (costs
+    never changed), so the basis is dual feasible and the standard
+    warm-start dual repair walks the basic values back inside their true
+    bounds.  ``None`` means the rung did not produce a trustworthy answer.
+    """
+    saved_lower, saved_upper = lp.lower, lp.upper
+    rng = np.random.default_rng(_PERTURB_SEED ^ 0xB0D5)
+    lo_shift = 1e-7 * (1.0 + np.abs(saved_lower)) * (0.5 + 0.5 * rng.random(saved_lower.shape))
+    up_shift = 1e-7 * (1.0 + np.abs(saved_upper)) * (0.5 + 0.5 * rng.random(saved_upper.shape))
+    lower = np.where(np.isfinite(saved_lower), saved_lower - lo_shift, saved_lower)
+    upper = np.where(np.isfinite(saved_upper), saved_upper + up_shift, saved_upper)
+    lp.lower, lp.upper = lower, upper
+    try:
+        result = _cold_solve(lp, max_iter, deadline=deadline, pricing=pricing)
+    finally:
+        lp.lower, lp.upper = saved_lower, saved_upper
+    status, _y, iters, token = result
+    if status in ("infeasible", "unbounded", "deadline"):
+        return result
+    if status != "optimal" or token is None:
+        return None
+    return _warm_solve(lp, token, max_iter, deadline=deadline, pricing=pricing)
+
+
 def _cold_solve_resilient(
-    lp: _CanonicalLP, max_iter: int, deadline: Optional[Deadline]
+    lp: _CanonicalLP,
+    max_iter: int,
+    deadline: Optional[Deadline],
+    pricing: str = "dantzig",
 ) -> Tuple[str, Optional[np.ndarray], int, Optional[_Basis]]:
     """Cold solve wrapped in the numerical-recovery ladder.
 
     Rungs, in order: plain cold solve -> deterministic cost perturbation
-    (with post-solve unperturbation) -> forced Bland pricing -> one last
-    plain cold restart (catches transient failures, e.g. an injected or
-    environmental one-off).  Each rung is counted in instrumentation and
-    surfaced as a Diagnostic; only when every rung fails does the solve
-    raise ``SolverError``.
+    (with post-solve unperturbation) -> deterministic bound shifting (with
+    post-solve repair; the rung that actually removes primal-degenerate
+    stalling) -> forced Bland pricing -> one last plain cold restart
+    (catches transient failures, e.g. an injected or environmental
+    one-off).  Each rung is counted in instrumentation and surfaced as a
+    Diagnostic; only when every rung fails does the solve raise
+    ``SolverError``.
+
+    Above :data:`_SHIFT_PROACTIVE_COLS` columns the first rung is the
+    bound-shifted solve itself -- at that size the placement LPs are
+    degenerate enough that the plain cold solve stalls almost surely, and
+    starting shifted skips the wasted stalled attempt.
     """
+    if lp.n >= _SHIFT_PROACTIVE_COLS:
+        try:
+            result = _bound_shifted_solve(lp, max_iter, deadline, pricing=pricing)
+            if result is not None:
+                return result
+            failure: _NumericalTrouble = _NumericalTrouble(
+                "bound-shifted cold solve did not produce a usable basis"
+            )
+        except _NumericalTrouble as exc:
+            failure = exc
+        record_rung(
+            "shift-fallback",
+            f"proactive bound-shifted solve failed ({failure}); "
+            "retrying on the exact bounds",
+        )
     try:
-        return _cold_solve(lp, max_iter, deadline=deadline)
+        return _cold_solve(lp, max_iter, deadline=deadline, pricing=pricing)
+    except _DegenerateStall as exc:
+        # Cost jitter cannot remove zero-length steps; jump straight to
+        # the bound-shift rung.
+        failure = exc
     except _NumericalTrouble as exc:
         failure = exc
-    record_rung("perturb", f"cold solve failed ({failure}); retrying with perturbed costs")
+        record_rung("perturb", f"cold solve failed ({failure}); retrying with perturbed costs")
+        try:
+            result = _perturbed_solve(lp, max_iter, deadline, pricing=pricing)
+            if result is not None:
+                return result
+        except _NumericalTrouble as exc2:
+            failure = exc2
+    record_rung("bound-shift", f"cold solve failed ({failure}); retrying with shifted bounds")
     try:
-        result = _perturbed_solve(lp, max_iter, deadline)
+        result = _bound_shifted_solve(lp, max_iter, deadline, pricing=pricing)
         if result is not None:
             return result
     except _NumericalTrouble as exc:
         failure = exc
-    record_rung("bland", f"perturbed retry failed ({failure}); retrying with Bland pricing")
+    record_rung("bland", f"bound-shift retry failed ({failure}); retrying with Bland pricing")
     try:
         return _cold_solve(lp, max_iter, deadline=deadline, bland=True)
     except _NumericalTrouble as exc:
@@ -1036,9 +1516,14 @@ class SimplexSolver:
     basis whenever one is supplied.
     """
 
-    def __init__(self, form: StandardForm, max_iter: int = 100_000) -> None:
+    def __init__(
+        self, form: StandardForm, max_iter: int = 100_000, pricing: str = "auto"
+    ) -> None:
         self.form = form
         self.max_iter = max_iter
+        #: Pricing rule for subsequent solves; mutable so a session can
+        #: change it between solves without re-canonicalizing.
+        self.pricing = _validate_pricing(pricing)
         self._lp: Optional[_CanonicalLP] = None
 
     def refresh(self) -> None:
@@ -1092,11 +1577,12 @@ class SimplexSolver:
         ub = self.form.ub if ub is None else np.asarray(ub, dtype=float)
         limit = self.max_iter if max_iter is None else max_iter
         lp = self._ensure_canonical(lb, ub)
+        pricing = _resolve_pricing(_validate_pricing(self.pricing), lp.n)
 
         result = None
         if _basis_compatible(warm_basis, lp):
             try:
-                result = _warm_solve(lp, warm_basis, limit, deadline=deadline)
+                result = _warm_solve(lp, warm_basis, limit, deadline=deadline, pricing=pricing)
             except _NumericalTrouble as exc:
                 record_rung(
                     "refactorize",
@@ -1105,12 +1591,13 @@ class SimplexSolver:
                 )
                 try:
                     result = _warm_solve(
-                        lp, warm_basis, limit, deadline=deadline, fresh_factor=True
+                        lp, warm_basis, limit, deadline=deadline, fresh_factor=True,
+                        pricing=pricing,
                     )
                 except _NumericalTrouble:
                     result = None
         if result is None:
-            result = _cold_solve_resilient(lp, limit, deadline)
+            result = _cold_solve_resilient(lp, limit, deadline, pricing=pricing)
         status, y, iterations, token = result
         instr.add("lp_solves")
         solution = _solution_from_canonical(self.form, lp, status, y, iterations)
@@ -1126,12 +1613,17 @@ class SimplexSolver:
 
 
 def solve_standard_form(
-    form: StandardForm, max_iter: int = 100_000, deadline: Optional[Deadline] = None
+    form: StandardForm,
+    max_iter: int = 100_000,
+    deadline: Optional[Deadline] = None,
+    pricing: str = "auto",
 ) -> Solution:
     """Solve the LP relaxation of a :class:`StandardForm` with the simplex.
 
     Integrality markers are ignored; use
     :func:`repro.optim.branch_and_bound.solve_milp` for exact integer solves.
     """
-    solution, _ = SimplexSolver(form, max_iter=max_iter).solve(deadline=deadline)
+    solution, _ = SimplexSolver(form, max_iter=max_iter, pricing=pricing).solve(
+        deadline=deadline
+    )
     return solution

@@ -144,6 +144,22 @@ class SparseMatrix:
             out[nonempty] = np.add.reduceat(prods, starts)
         return out
 
+    def rmatvec_range(self, lo: int, hi: int, y: np.ndarray) -> np.ndarray:
+        """``A[:, lo:hi].T @ y`` as a dense length-``hi - lo`` vector.
+
+        The partial-pricing kernel: a block scan prices only the columns in
+        ``[lo, hi)``, so the segment sum touches only that slice of the CSC
+        data instead of every stored entry.
+        """
+        out = np.zeros(hi - lo)
+        start, end = int(self.indptr[lo]), int(self.indptr[hi])
+        if end > start:
+            counts = np.diff(self.indptr[lo : hi + 1])
+            nonempty = np.flatnonzero(counts > 0)
+            prods = self.data[start:end] * y[self.indices[start:end]]
+            out[nonempty] = np.add.reduceat(prods, self.indptr[lo + nonempty] - start)
+        return out
+
     # -- updates -----------------------------------------------------------
     def get(self, row: int, col: int) -> float:
         lo, hi = self.indptr[col], self.indptr[col + 1]

@@ -20,7 +20,11 @@ from repro.topology.generators import (
     generate_pop,
     paper_pop,
 )
-from repro.topology.rocketfuel import load_rocketfuel_weights, save_rocketfuel_weights
+from repro.topology.rocketfuel import (
+    load_rocketfuel_weights,
+    save_rocketfuel_weights,
+    synthetic_rocketfuel,
+)
 
 __all__ = [
     "NodeRole",
@@ -31,4 +35,5 @@ __all__ = [
     "load_rocketfuel_weights",
     "paper_pop",
     "save_rocketfuel_weights",
+    "synthetic_rocketfuel",
 ]

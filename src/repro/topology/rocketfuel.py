@@ -20,6 +20,7 @@ uses, not the optimization algorithms themselves.
 from __future__ import annotations
 
 import os
+import random
 from typing import Iterable, List, Optional, Tuple
 
 from repro.topology.pop import NodeRole, POPTopology
@@ -78,6 +79,64 @@ def load_rocketfuel_weights(path: str, name: Optional[str] = None) -> POPTopolog
     for u, v, weight in edges:
         if not pop.graph.has_edge(u, v):
             pop.add_link(u, v, capacity=weight)
+    return pop
+
+
+def synthetic_rocketfuel(
+    n_backbone: int = 30,
+    access_per_backbone: int = 3,
+    customers_per_access: int = 2,
+    extra_chords: int = 15,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> POPTopology:
+    """Generate a synthetic ISP map with Rocketfuel-like structure.
+
+    Real Rocketfuel traces cannot be redistributed, so benchmarks and smoke
+    tests that need "ISP-scale" instances use this generator instead: a
+    backbone ring with random chord links (the densely meshed core the
+    Rocketfuel maps show), ``access_per_backbone`` access routers hanging
+    off each backbone router, and ``customers_per_access`` customer
+    endpoints per access router (the traffic generator's endpoints).
+    Deterministic in ``seed``; customer labels carry the Rocketfuel
+    ``ext`` marker so :func:`_infer_role` classifies them as virtual
+    endpoints after a round-trip through the weights format.
+    """
+    if n_backbone < 3:
+        raise ValueError(f"n_backbone must be >= 3 for a backbone ring, got {n_backbone}")
+    rng = random.Random(seed)
+    pop = POPTopology(name=name or f"rocketfuel-synth-{n_backbone}x{access_per_backbone}")
+
+    backbone = [f"bb{i}.core" for i in range(n_backbone)]
+    for node in backbone:
+        pop.add_router(node, NodeRole.BACKBONE)
+    for i in range(n_backbone):
+        pop.add_link(backbone[i], backbone[(i + 1) % n_backbone], capacity=10.0)
+    # A small backbone may not have ``extra_chords`` non-ring pairs left;
+    # cap the target so the rejection loop always terminates.
+    free_pairs = n_backbone * (n_backbone - 1) // 2 - n_backbone
+    chords = 0
+    while chords < min(extra_chords, free_pairs):
+        u, v = rng.sample(range(n_backbone), 2)
+        if not pop.graph.has_edge(backbone[u], backbone[v]):
+            pop.add_link(backbone[u], backbone[v], capacity=10.0)
+            chords += 1
+
+    for i, core in enumerate(backbone):
+        for a in range(access_per_backbone):
+            acc = f"bb{i}.acc{a}"
+            pop.add_router(acc, NodeRole.ACCESS)
+            pop.add_link(core, acc, capacity=2.5)
+            # Dual-home some access routers to a random second core: the
+            # multipath structure is what makes placement non-trivial.
+            if rng.random() < 0.3:
+                other = backbone[rng.randrange(n_backbone)]
+                if other != core and not pop.graph.has_edge(other, acc):
+                    pop.add_link(other, acc, capacity=2.5)
+            for c in range(customers_per_access):
+                cust = f"bb{i}.acc{a}.ext{c}"
+                pop.add_router(cust, NodeRole.CUSTOMER)
+                pop.add_link(acc, cust, capacity=1.0)
     return pop
 
 

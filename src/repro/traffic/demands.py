@@ -158,14 +158,21 @@ class TrafficMatrix:
 
     @property
     def links(self) -> List[LinkKey]:
-        """All links crossed by at least one traffic."""
+        """All links crossed by at least one traffic.
+
+        Iterates routes (not the per-traffic link *sets*) so the order is
+        first-crossing order -- deterministic across processes.  Model
+        builders index variables by this list, so a hash-seed-dependent
+        order would make solver pivot sequences differ run to run.
+        """
         seen: Set[LinkKey] = set()
         out: List[LinkKey] = []
         for traffic in self:
-            for link in traffic.links:
-                if link not in seen:
-                    seen.add(link)
-                    out.append(link)
+            for route in traffic.routes:
+                for link in route.links:
+                    if link not in seen:
+                        seen.add(link)
+                        out.append(link)
         return out
 
     def link_loads(self) -> Dict[LinkKey, float]:

@@ -94,7 +94,12 @@ def _assert_matches(ours, reference, label: str) -> None:
 
 
 class TestLPDifferential:
-    def test_simplex_matches_highs_on_random_lps(self):
+    # "auto" resolves to Dantzig at fuzz sizes; the explicit "devex" leg
+    # forces the reference-framework pricer + partial pricing through the
+    # exact same instance stream, so a devex-specific pricing or dual-update
+    # bug cannot hide behind the auto threshold.
+    @pytest.mark.parametrize("pricing", ["auto", "devex"])
+    def test_simplex_matches_highs_on_random_lps(self, pricing):
         rng = np.random.default_rng(20260729)
         statuses = {status: 0 for status in SolveStatus}
         checked = 0
@@ -111,8 +116,8 @@ class TestLPDifferential:
                 SolveStatus.UNBOUNDED,
             ):
                 continue  # numerical-trouble statuses have no defined mirror
-            ours = solve_standard_form(form)
-            _assert_matches(ours, reference, f"LP #{checked}")
+            ours = solve_standard_form(form, pricing=pricing)
+            _assert_matches(ours, reference, f"LP #{checked} pricing={pricing}")
             statuses[reference.status] += 1
             checked += 1
         # The generator must actually exercise every LP status class.
@@ -122,7 +127,7 @@ class TestLPDifferential:
 
 
 class TestMILPDifferential:
-    def _run(self, n_instances: int, seed: int) -> None:
+    def _run(self, n_instances: int, seed: int, pricing: str = "auto") -> None:
         rng = np.random.default_rng(seed)
         statuses = {status: 0 for status in SolveStatus}
         for index in range(n_instances):
@@ -131,8 +136,8 @@ class TestMILPDifferential:
             reference = scipy_backend.solve_mip(form)
             if reference.status not in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
                 continue
-            ours = solve_milp(form)
-            _assert_matches(ours, reference, f"MILP #{index}")
+            ours = solve_milp(form, pricing=pricing)
+            _assert_matches(ours, reference, f"MILP #{index} pricing={pricing}")
             statuses[reference.status] += 1
         assert statuses[SolveStatus.OPTIMAL] >= n_instances // 4
         assert statuses[SolveStatus.INFEASIBLE] >= 5
@@ -142,6 +147,12 @@ class TestMILPDifferential:
         # the configuration the vectorization refactor must not regress.
         monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
         self._run(N_MILP_INSTANCES, seed=477)
+
+    def test_branch_and_bound_with_devex_nodes_matches_highs(self, monkeypatch):
+        # Same stream under devex node pricing: cold root solves, warm
+        # re-solves and the devex dual-repair weighting all against HiGHS.
+        monkeypatch.setattr(scipy_backend, "is_available", lambda: False)
+        self._run(N_MILP_INSTANCES, seed=477, pricing="devex")
 
     def test_branch_and_bound_with_scipy_nodes_matches_highs(self):
         self._run(80, seed=478)

@@ -153,9 +153,14 @@ class TestRecoveryLadder:
         "plan, rung, counter",
         [
             (FaultPlan(fail_factorizations=(1,)), "perturb", "recovery_perturb"),
-            (FaultPlan(fail_factorizations=(1, 2)), "bland", "recovery_bland"),
             (
-                FaultPlan(fail_factorizations=(1, 2, 3)),
+                FaultPlan(fail_factorizations=(1, 2)),
+                "bound-shift",
+                "recovery_bound_shift",
+            ),
+            (FaultPlan(fail_factorizations=(1, 2, 3)), "bland", "recovery_bland"),
+            (
+                FaultPlan(fail_factorizations=(1, 2, 3, 4)),
                 "cold-restart",
                 "recovery_cold_restart",
             ),
@@ -172,13 +177,34 @@ class TestRecoveryLadder:
         assert f"resilience-{rung}" in _rung_rules()
 
     def test_exhausted_ladder_raises(self):
-        with faultinject.inject(FaultPlan(fail_factorizations=(1, 2, 3, 4))):
+        with faultinject.inject(FaultPlan(fail_factorizations=(1, 2, 3, 4, 5))):
             with pytest.raises(SolverError, match="could not recover"):
                 solve_standard_form(_lp_form())
         # Every rung was counted on the way down.
         assert instr.get("recovery_perturb") == 1
+        assert instr.get("recovery_bound_shift") == 1
         assert instr.get("recovery_bland") == 1
         assert instr.get("recovery_cold_restart") == 1
+
+    def test_corrupt_spike_recovers_unchanged(self):
+        """A poisoned Forrest-Tomlin spike must be survived, not believed.
+
+        The corrupted spike poisons every subsequent FTRAN/BTRAN through
+        that factor, so the solver sees non-finite pivots and must climb
+        the ladder to a clean factorization -- ending at the unfaulted
+        optimum.
+        """
+        from repro.optim import simplex
+
+        if simplex._FORCE_DENSE_ETA:
+            pytest.skip("dense-eta mode records no FT spikes to corrupt")
+        with faultinject.inject(FaultPlan(corrupt_spikes=(1,))) as armed:
+            sol = solve_standard_form(_lp_form())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(LP_OPTIMUM)
+        assert armed.fired[faultinject.SPIKE] >= 1
+        assert instr.get("recovery_perturb") >= 1
+        assert "resilience-perturb" in _rung_rules()
 
     def test_warm_refactorize_rung(self):
         form = _lp_form()

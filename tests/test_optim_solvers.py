@@ -237,6 +237,22 @@ class TestOptionPlumbing:
         with pytest.raises(SolverError):
             solve_model(m, backend="simplex", mip_gap=0.01)
 
+    @pytest.mark.parametrize("bad", ["steepest", "", "Devex", 7, None])
+    def test_pricing_option_validated(self, bad):
+        # Mirrors the time_limit style: a malformed value is a loud
+        # ValueError before any solve work starts.
+        with pytest.raises((ValueError, TypeError), match="pricing"):
+            solve_model(_lp_example(), backend="simplex", pricing=bad)
+
+    @pytest.mark.parametrize("backend", ["simplex", "branch-and-bound"])
+    @pytest.mark.parametrize("pricing", ["auto", "dantzig", "devex"])
+    def test_pricing_modes_reach_the_same_optimum(self, backend, pricing):
+        model = _mip_example() if backend == "branch-and-bound" else _lp_example()
+        expected = 15.0 if backend == "branch-and-bound" else 12.0
+        sol = solve_model(model, backend=backend, pricing=pricing)
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(expected, abs=1e-6)
+
     def test_large_mip_gap_returns_incumbent_within_gap(self):
         m = _mip_example()
         sol = m.solve(backend="branch-and-bound", mip_gap=0.5)

@@ -14,11 +14,14 @@ Three layers are covered:
 
 from __future__ import annotations
 
+from unittest import mock
+
 import numpy as np
 import pytest
 
 from repro.optim import Model, lin_sum
 from repro.optim import instrumentation as instr
+from repro.optim import simplex as simplex_mod
 from repro.optim.simplex import (
     SimplexSolver,
     _REFACTOR_INTERVAL,
@@ -68,6 +71,23 @@ class TestSparseMatrix:
         np.testing.assert_allclose(A.rmatvec(y), [21.0, 8.0])
         A.set(1, 0, 5.0)  # fill-in invalidates the cached segment structure
         np.testing.assert_allclose(A.rmatvec(y), [41.0, 8.0])
+
+    def test_rmatvec_range_matches_dense_blocks(self):
+        """The partial-pricing kernel: every [lo, hi) slice agrees with the
+        dense reference, the full range agrees with rmatvec, empty is empty."""
+        rng = np.random.default_rng(23)
+        for _ in range(15):
+            m, n = rng.integers(1, 9, size=2)
+            dense = rng.random((m, n)) * (rng.random((m, n)) < 0.4)
+            A = SparseMatrix.from_dense(dense)
+            y = rng.standard_normal(m)
+            for lo in range(int(n)):
+                hi = int(rng.integers(lo, n)) + 1
+                np.testing.assert_allclose(
+                    A.rmatvec_range(lo, hi, y), dense[:, lo:hi].T @ y, atol=1e-12
+                )
+            np.testing.assert_allclose(A.rmatvec_range(0, int(n), y), A.rmatvec(y))
+            assert A.rmatvec_range(0, 0, y).size == 0
 
     def test_gather_col_and_getitem(self):
         dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
@@ -225,18 +245,69 @@ class TestBasisFactor:
         rhs = rng.standard_normal(m)
         np.testing.assert_allclose(fresh.ftran(rhs.copy()), factor.ftran(rhs.copy()), atol=1e-6)
 
-    def test_clone_is_copy_on_write(self):
+    @pytest.mark.parametrize("force_dense", [False, True], ids=["ft-spikes", "dense-etas"])
+    def test_clone_is_copy_on_write(self, force_dense):
+        """A child's updates must never leak into the parent, in either
+        update representation: the parent's update file stays empty and its
+        solves stay bitwise-identical to before the clone pivoted."""
         rng = np.random.default_rng(5)
         lp = self._canonical_fixture(rng)
         m = lp.m
         basis = np.arange(m, dtype=np.int64)
-        factor = _BasisFactor(lp, basis, np.ones(m))
+        with mock.patch.object(simplex_mod, "_FORCE_DENSE_ETA", force_dense):
+            factor = _BasisFactor(lp, basis, np.ones(m))
+        assert factor._dense_etas is force_dense
+        rhs = rng.standard_normal(m)
+        before_ftran = factor.ftran(rhs.copy())
+        before_btran = factor.btran(rhs.copy())
         clone = factor.clone()
         col = lp.A.gather_col(m, np.zeros(m))
         w = factor.ftran(col)
         clone.update(int(np.argmax(np.abs(w))), w)
-        assert clone.n_etas == 1
-        assert factor.n_etas == 0  # the original's eta file is untouched
+        clone.update(int(np.argmin(np.abs(w - 1.0))), clone.ftran(col.copy()))
+        assert clone.n_etas == 2
+        assert factor.n_etas == 0  # the original's update file is untouched
+        np.testing.assert_array_equal(factor.ftran(rhs.copy()), before_ftran)
+        np.testing.assert_array_equal(factor.btran(rhs.copy()), before_btran)
+
+    def test_ft_spikes_match_dense_etas(self):
+        """Property: over one shared pivot sequence, the Forrest-Tomlin
+        spike file and the reference dense-eta file are the same operator
+        (FTRAN and BTRAN agree to 1e-9 on random right-hand sides)."""
+        rng = np.random.default_rng(9)
+        lp = self._canonical_fixture(rng)
+        m = lp.m
+        basis = np.arange(m, dtype=np.int64)
+        with mock.patch.object(simplex_mod, "_FORCE_DENSE_ETA", True):
+            dense = _BasisFactor(lp, basis, np.ones(m))
+        # Pin the FT side explicitly so the property holds even when the
+        # whole test run is under the REPRO_FORCE_DENSE_ETA CI leg.
+        with mock.patch.object(simplex_mod, "_FORCE_DENSE_ETA", False):
+            ft = _BasisFactor(lp, basis, np.ones(m))
+        assert dense._dense_etas and not ft._dense_etas
+        updates = 0
+        attempts = 0
+        while updates < 30 and attempts < 300:
+            attempts += 1
+            q = int(rng.integers(0, lp.n))
+            if q in basis:
+                continue
+            col = lp.A.gather_col(q, np.zeros(m))
+            w_ft = ft.ftran(col.copy())
+            w_dense = dense.ftran(col.copy())
+            np.testing.assert_allclose(w_ft, w_dense, atol=1e-9)
+            r = int(np.argmax(np.abs(w_ft)))
+            if abs(w_ft[r]) < 1e-6:
+                continue
+            ft.update(r, w_ft)
+            dense.update(r, w_dense)
+            basis[r] = q
+            updates += 1
+            rhs = rng.standard_normal(m)
+            np.testing.assert_allclose(ft.ftran(rhs.copy()), dense.ftran(rhs.copy()), atol=1e-9)
+            np.testing.assert_allclose(ft.btran(rhs.copy()), dense.btran(rhs.copy()), atol=1e-9)
+        assert updates == 30
+        assert ft._spike_nnz > 0  # spikes, not etas, carried the FT side
 
     def test_warm_chain_triggers_refactorization_and_stays_exact(self):
         """A long warm-started re-solve chain must refactorize and keep

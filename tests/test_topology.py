@@ -11,6 +11,7 @@ from repro.topology import (
     load_rocketfuel_weights,
     paper_pop,
     save_rocketfuel_weights,
+    synthetic_rocketfuel,
 )
 from repro.topology.pop import link_key
 
@@ -185,3 +186,48 @@ class TestRocketfuel:
         path.write_text("a b\n")
         pop = load_rocketfuel_weights(str(path))
         assert pop.graph.edges["a", "b"]["capacity"] == 1.0
+
+
+class TestSyntheticRocketfuel:
+    def test_structure_and_counts(self):
+        pop = synthetic_rocketfuel(
+            n_backbone=10, access_per_backbone=2, customers_per_access=2, extra_chords=5, seed=0
+        )
+        roles = [pop.role(n) for n in pop.graph.nodes]
+        assert roles.count(NodeRole.BACKBONE) == 10
+        assert roles.count(NodeRole.ACCESS) == 20
+        assert roles.count(NodeRole.CUSTOMER) == 40
+        # Ring + chords + access uplinks (single- or dual-homed) + customers.
+        assert pop.num_links >= 10 + 5 + 20 + 40
+        assert pop.is_connected
+
+    def test_deterministic_for_a_seed(self):
+        a = synthetic_rocketfuel(seed=3)
+        b = synthetic_rocketfuel(seed=3)
+        assert sorted(a.graph.nodes) == sorted(b.graph.nodes)
+        assert sorted(map(tuple, a.graph.edges)) == sorted(map(tuple, b.graph.edges))
+        c = synthetic_rocketfuel(seed=4)
+        assert sorted(map(tuple, a.graph.edges)) != sorted(map(tuple, c.graph.edges))
+
+    def test_default_size_is_isp_scale(self):
+        pop = synthetic_rocketfuel(seed=0)
+        assert pop.num_routers == 120  # 30 core + 90 access (customers are endpoints)
+        assert pop.graph.number_of_nodes() == 300  # + 180 customer endpoints
+        assert pop.name.startswith("rocketfuel-synth")
+
+    def test_round_trips_through_weights_format(self, tmp_path):
+        pop = synthetic_rocketfuel(n_backbone=5, seed=1)
+        path = tmp_path / "synth.weights"
+        save_rocketfuel_weights(pop, str(path))
+        loaded = load_rocketfuel_weights(str(path))
+        assert loaded.num_links == pop.num_links
+        # Customer labels carry the ``ext`` marker so the reader's role
+        # inference classifies them as virtual endpoints again.
+        custs = [n for n in loaded.graph.nodes if loaded.role(n) is NodeRole.CUSTOMER]
+        assert len(custs) == sum(
+            1 for n in pop.graph.nodes if pop.role(n) is NodeRole.CUSTOMER
+        )
+
+    def test_too_small_backbone_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_rocketfuel(n_backbone=2)
