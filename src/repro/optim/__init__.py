@@ -49,10 +49,18 @@ CPLEX plays in the original article:
   option.
 * :mod:`repro.optim.faultinject` -- a deterministic, seeded fault-injection
   harness for testing the resilience machinery (fail the Nth factorization,
-  corrupt a pivot column or a Forrest-Tomlin spike, take a backend down,
-  jump the deadline clock);
+  corrupt a pivot column or a Forrest-Tomlin spike, poison a pricing block,
+  take a backend down, jump the deadline clock);
   completely inert -- a single module-flag check -- unless a test arms a
   :class:`~repro.optim.faultinject.FaultPlan`.
+* :mod:`repro.optim.colgen` -- restricted-master column generation
+  (``decomposition="auto"|"off"|"colgen"``): the master LP holds only the
+  active columns (and the rows they can violate), a pricing oracle computes
+  reduced costs over the full column universe in CSC blocks without
+  materializing inactive columns, and a Lagrangian dual bound drives early
+  termination and honest gap reporting.  Problem layers seed it through
+  :class:`~repro.optim.colgen.ColGenHints` (initial columns, expansion
+  order, a dual-completion rule for dropped rows).
 
 Pricing and basis-update strategy
 ---------------------------------
@@ -86,7 +94,8 @@ scale-dependent default and an explicit override:
   bound-shift rung rather than spinning.
 
 Solver options (``time_limit``, ``mip_gap``, ``max_iter``, ``max_nodes``,
-``gap_tol``, ``pricing``, ``fallback``) use one unified vocabulary; the
+``gap_tol``, ``pricing``, ``decomposition``, ``fallback``) use one unified
+vocabulary; the
 matrix of which backend honors which option lives in
 :data:`repro.optim.backend.BACKEND_OPTIONS`, and unknown option names raise
 :class:`~repro.optim.errors.SolverError`.  For parameterized experiments
@@ -150,11 +159,13 @@ from repro.optim.model import Constraint, LinExpr, Model, Variable, lin_sum
 from repro.optim.solution import Degradation, Solution, SolveStatus
 from repro.optim.analysis import Diagnostic, analyze_form
 from repro.optim.backend import SolverSession, available_backends, solve_model
+from repro.optim.colgen import ColGenHints
 from repro.optim.faultinject import FaultPlan
 from repro.optim.presolve import Postsolve, ReducedForm, presolve
 from repro.optim.resilience import Deadline
 
 __all__ = [
+    "ColGenHints",
     "Constraint",
     "Deadline",
     "Degradation",

@@ -32,6 +32,7 @@ Option              scipy     simplex    branch-and-bound
 ``max_cut_rounds``  --        --         yes
 ``pricing``         ignored   yes        yes (node LPs)
 ``fallback``        yes       yes        yes
+``decomposition``   ignored   yes        yes
 ==================  ========  =========  ==================
 
 ``mip_gap`` is a *relative* optimality gap everywhere (HiGHS
@@ -68,6 +69,18 @@ reductions are applied exactly when the resolved backend will enforce
 integrality (i.e. not on the ``simplex`` backend, which solves the LP
 relaxation).  ``cuts`` (``"auto"``/``"off"``) and ``max_cut_rounds`` steer
 the branch-and-bound root cutting-plane loop (:mod:`repro.optim.cuts`).
+
+``decomposition`` (``"auto"`` by default, ``"off"`` | ``"colgen"``) selects
+the restricted-master / pricing column generation of
+:mod:`repro.optim.colgen` on the in-house backends.  ``"auto"`` honors the
+``REPRO_DECOMPOSITION`` environment override and otherwise engages column
+generation once the lowered form is wide enough to pay for it
+(:data:`repro.optim.colgen._COLGEN_MIN_COLS` columns); HiGHS runs its own
+algebra, so the scipy backend accepts the option for portability but
+ignores it.  On a :class:`SolverSession` the column-generation path skips
+presolve on purpose (presolve reindexes columns, which would invalidate
+:class:`repro.optim.colgen.ColGenHints` indices and in-place patches) and
+keeps the active column set plus warm basis across re-solves.
 
 ``check`` runs the pre-solve static analyzer
 (:mod:`repro.optim.analysis`) over the lowered :class:`StandardForm` before
@@ -107,7 +120,8 @@ from repro.optim.resilience import Deadline, greedy_form_solve, record_rung
 from repro.optim.solution import Degradation, Solution, SolveStatus
 from repro.optim.sparse import SparseMatrix, is_sparse
 
-if TYPE_CHECKING:  # pragma: no cover - types only (simplex is imported lazily)
+if TYPE_CHECKING:  # pragma: no cover - types only (solvers are imported lazily)
+    from repro.optim.colgen import ColGenHints, ColumnGeneration
     from repro.optim.simplex import SimplexSolver, _Basis
 
 #: Canonical backend names accepted by :func:`solve_model`.
@@ -118,10 +132,27 @@ BACKENDS = ("auto", "scipy", "simplex", "branch-and-bound")
 #: every backend.
 BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
     "scipy": frozenset(
-        {"time_limit", "mip_gap", "max_iter", "check", "presolve", "pricing", "fallback"}
+        {
+            "time_limit",
+            "mip_gap",
+            "max_iter",
+            "check",
+            "presolve",
+            "pricing",
+            "fallback",
+            "decomposition",
+        }
     ),
     "simplex": frozenset(
-        {"max_iter", "time_limit", "check", "presolve", "pricing", "fallback"}
+        {
+            "max_iter",
+            "time_limit",
+            "check",
+            "presolve",
+            "pricing",
+            "fallback",
+            "decomposition",
+        }
     ),
     "branch-and-bound": frozenset(
         {
@@ -136,6 +167,7 @@ BACKEND_OPTIONS: Dict[str, FrozenSet[str]] = {
             "max_cut_rounds",
             "pricing",
             "fallback",
+            "decomposition",
         }
     ),
 }
@@ -196,6 +228,11 @@ def _check_options(backend: str, options: Dict[str, Any]) -> None:
         from repro.optim.simplex import _validate_pricing
 
         _validate_pricing(pricing)
+    decomposition = options.get("decomposition")
+    if decomposition is not None:
+        from repro.optim.colgen import validate_decomposition
+
+        validate_decomposition(decomposition)
 
 
 def _pop_check_mode(options: Dict[str, Any]) -> str:
@@ -300,8 +337,14 @@ def _dispatch_form(
             time_limit=remaining,
         )
     if backend == "simplex":
+        from repro.optim.colgen import resolve_decomposition, solve_form_colgen
         from repro.optim.simplex import solve_standard_form
 
+        decomposition = resolve_decomposition(
+            options.get("decomposition", "auto"), form.num_vars
+        )
+        if decomposition == "colgen":
+            return solve_form_colgen(form, is_mip=False, options=options, deadline=deadline)
         return solve_standard_form(
             form,
             max_iter=options.get("max_iter", 100_000),
@@ -310,12 +353,18 @@ def _dispatch_form(
         )
     # branch-and-bound
     from repro.optim.branch_and_bound import solve_milp
+    from repro.optim.colgen import resolve_decomposition, solve_form_colgen
 
     max_cut_rounds = options.get("max_cut_rounds", 5)
     if not isinstance(max_cut_rounds, int) or max_cut_rounds < 0:
         raise SolverError(
             f"max_cut_rounds must be a non-negative integer, got {max_cut_rounds!r}"
         )
+    decomposition = resolve_decomposition(
+        options.get("decomposition", "auto"), form.num_vars
+    )
+    if decomposition == "colgen":
+        return solve_form_colgen(form, is_mip=True, options=options, deadline=deadline)
     return solve_milp(
         form,
         max_nodes=options.get("max_nodes", 100_000),
@@ -488,8 +537,24 @@ class SolverSession:
         self._sign = -1.0 if self.form.maximize else 1.0
         self._simplex: Optional["SimplexSolver"] = None  # lazy, for warm starts
         self._basis: Optional["_Basis"] = None
+        self._colgen: Optional["ColumnGeneration"] = None  # lazy decomposition driver
+        self._colgen_hints: Optional["ColGenHints"] = None
         self._coeffs_dirty = False  # matrix coefficients patched since last solve
         self.solves = 0
+
+    def set_colgen_hints(self, hints: Optional["ColGenHints"]) -> None:
+        """Install model-specific column-generation hints for this session.
+
+        The hints (initial columns, expansion order, dual completion -- see
+        :class:`repro.optim.colgen.ColGenHints`) are consumed when the
+        ``decomposition`` option resolves to ``"colgen"`` and are indexed
+        against this session's *unpresolved* lowered form, which is why the
+        session column-generation path never runs presolve.  Installing new
+        hints discards the current decomposition state (active columns and
+        warm basis); passing ``None`` clears them.
+        """
+        self._colgen_hints = hints
+        self._colgen = None
 
     # -- update surface ----------------------------------------------------
     def _row(self, name: str) -> Tuple[Union[FloatArray, SparseMatrix], FloatArray, int, float]:
@@ -618,6 +683,60 @@ class SolverSession:
         )
         return solution
 
+    def _solve_colgen(self, merged: Dict[str, Any]) -> Solution:
+        """Session column-generation path (``decomposition`` -> ``"colgen"``).
+
+        Bypasses presolve by design -- presolve reindexes columns, which
+        would break both the hint indices and the session's in-place
+        coefficient patches -- and keeps one
+        :class:`repro.optim.colgen.ColumnGeneration` driver alive so the
+        active column set and the master's warm basis survive re-solves.
+        With ``fallback="auto"`` a failed decomposition run retries
+        monolithically on the remaining time budget.
+        """
+        from repro.optim.colgen import ColumnGeneration
+
+        merged = dict(merged)
+        merged.pop("decomposition", None)
+        _pop_presolve_mode(merged)
+        fallback_mode = _pop_fallback_mode(merged)
+        time_limit = merged.pop("time_limit", None)
+        deadline = Deadline(time_limit) if time_limit is not None else None
+        colgen_mip = self._is_mip and self.backend != "simplex"
+        if self._colgen is None:
+            self._colgen = ColumnGeneration(
+                self.form,
+                hints=self._colgen_hints,
+                is_mip=colgen_mip,
+                pricing=merged.get("pricing", "auto"),
+                max_iter=merged.get("max_iter"),
+            )
+        else:
+            self._colgen.pricing = merged.get("pricing", "auto")
+            self._colgen.max_iter = merged.get("max_iter")
+        if self._coeffs_dirty:
+            self._colgen.refresh_data()
+        self._coeffs_dirty = False
+        try:
+            if faultinject.ACTIVE:
+                faultinject.maybe_fail_backend(self.backend, SolverError)
+            if colgen_mip:
+                return self._colgen.solve_mip(deadline=deadline, mip_options=merged)
+            return self._colgen.solve_lp(deadline=deadline)
+        except SolverError as exc:
+            if fallback_mode != "auto":
+                raise
+            record_rung(
+                "failover",
+                f"column generation failed ({exc}); retrying monolithically",
+            )
+            retry = dict(merged)
+            retry["decomposition"] = "off"
+            retry["fallback"] = "auto"
+            if deadline is not None:
+                retry["time_limit"] = deadline.remaining_or_none()
+            return _solve_form(self.form, self._is_mip, self.backend, retry)
+
     def solve(self, raise_on_infeasible: bool = False, **options: Any) -> Solution:
         """Re-solve against the current (patched) matrices.
 
@@ -631,7 +750,18 @@ class SolverSession:
         check_mode = _pop_check_mode(merged)
         analysis.enforce(self.form, check_mode, label=self.model.name)
 
-        if self.backend == "simplex" and not self._is_mip:
+        decomposition = "off"
+        if self.backend in ("simplex", "branch-and-bound"):
+            from repro.optim.colgen import resolve_decomposition
+
+            decomposition = resolve_decomposition(
+                merged.get("decomposition", "auto"), self.form.num_vars
+            )
+            merged["decomposition"] = decomposition
+
+        if decomposition == "colgen":
+            solution = self._solve_colgen(merged)
+        elif self.backend == "simplex" and not self._is_mip:
             from repro.optim.simplex import SimplexSolver
 
             fallback_mode = _pop_fallback_mode(merged)

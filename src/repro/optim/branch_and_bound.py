@@ -262,6 +262,7 @@ def _make_node_solver(
     """
     if lp_solver is not None:
         def solve_custom(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+            """Solve one node LP via the caller-supplied solver (no warm state)."""
             return lp_solver(_rebounded(form, lb, ub)), None
 
         return solve_custom, None
@@ -270,6 +271,7 @@ def _make_node_solver(
 
     if scipy_backend.is_available():
         def solve_scipy(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+            """Solve one node LP through HiGHS with the remaining deadline."""
             remaining = deadline.remaining_or_none() if deadline is not None else None
             return (
                 scipy_backend.solve_lp(form, lb=lb, ub=ub, max_iter=max_iter, time_limit=remaining),
@@ -283,6 +285,7 @@ def _make_node_solver(
     session = SimplexSolver(form, max_iter=max_iter or 100_000, pricing=pricing)
 
     def solve_simplex(lb: np.ndarray, ub: np.ndarray, warm: object) -> Tuple[Solution, object]:
+        """Solve one node LP in-house, warm-started from the parent basis."""
         return session.solve(lb=lb, ub=ub, warm_basis=warm, deadline=deadline)
 
     return solve_simplex, session

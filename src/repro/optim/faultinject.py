@@ -52,6 +52,7 @@ __all__ = [
     "FACTORIZE",
     "FaultPlan",
     "PIVOT_FTRAN",
+    "PRICING",
     "SPIKE",
     "WARM_REPAIR",
     "clock_skew",
@@ -72,6 +73,7 @@ SPIKE = "spike"                # Forrest-Tomlin spike recorded by _BasisFactor.u
 WARM_REPAIR = "warm-repair"    # warm-start dual repair attempt
 DEADLINE = "deadline"          # Deadline expiry check
 BACKEND = "backend"            # backend dispatch, keyed "backend:<name>"
+PRICING = "pricing"            # column-generation reduced-cost pricing block
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,10 @@ class FaultPlan:
     corrupt_spikes: Tuple[int, ...] = ()
     #: Warm-start dual repairs (by occurrence) forced to report a stall.
     stall_warm_repairs: Tuple[int, ...] = ()
+    #: Column-generation pricing blocks (by occurrence) that get a NaN
+    #: written into the freshly-computed reduced-cost slice, driving the
+    #: colgen re-price recovery rung.
+    corrupt_pricing: Tuple[int, ...] = ()
     #: Backend names whose dispatch raises while the plan is armed.
     fail_backends: Tuple[str, ...] = ()
     #: After this many deadline checks, the clock jumps forward once.
@@ -124,12 +130,14 @@ class _ArmedPlan:
 
     # -- per-site behaviour -------------------------------------------------
     def scheduled(self, site: str, occurrences: Tuple[int, ...]) -> bool:
+        """Advance ``site``'s visit counter; True when this visit is scripted."""
         if self._count(site) in occurrences:
             self._record(site)
             return True
         return False
 
     def backend_fails(self, backend: str) -> bool:
+        """True when the plan scripts ``backend`` to fail at dispatch."""
         self._count(f"{BACKEND}:{backend}")
         if backend in self.plan.fail_backends:
             self._record(f"{BACKEND}:{backend}")
@@ -137,6 +145,7 @@ class _ArmedPlan:
         return False
 
     def clock_skew(self) -> float:
+        """Seconds of deadline-clock skew, jumping once the scripted read hits."""
         after = self.plan.jump_clock_after
         if after is not None and self.skew == 0.0 and self._count(DEADLINE) >= after:
             self.skew = float(self.plan.clock_jump)
@@ -216,6 +225,9 @@ def corrupt_vector(site: str, vec: np.ndarray) -> np.ndarray:
         if vec.size:
             vec[0] = np.nan
     elif site == SPIKE and armed.scheduled(site, armed.plan.corrupt_spikes):
+        if vec.size:
+            vec[0] = np.nan
+    elif site == PRICING and armed.scheduled(site, armed.plan.corrupt_pricing):
         if vec.size:
             vec[0] = np.nan
     return vec

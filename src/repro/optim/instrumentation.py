@@ -60,6 +60,13 @@ COUNTER_NAMES = (
     "backend_failovers",     # fallback="auto" hops to another backend
     "greedy_degradations",   # fallback="auto" solves finished by the greedy rung
     "deadline_expiries",     # solves that returned TIME_LIMIT on an expired Deadline
+    "colgen_rounds",         # column-generation master/pricing rounds completed
+    "columns_priced",        # columns priced by the column-generation oracle (sum)
+    "columns_added",         # columns admitted into the restricted master
+    "colgen_rows_activated", # dropped rows activated into the restricted master
+    "master_resolves",       # restricted-master LP solves (warm or cold)
+    "lagrangian_bound_gap",  # final colgen primal-dual gap, parts-per-million (max)
+    "recovery_reprice",      # pricing passes re-run after a corrupted reduced-cost block
 )
 
 _counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
@@ -83,6 +90,7 @@ def record_max(name: str, value: int) -> None:
 
 
 def get(name: str) -> int:
+    """Current value of counter ``name``."""
     return _counters[name]
 
 

@@ -309,6 +309,7 @@ class StandardForm:
 
     @property
     def num_vars(self) -> int:
+        """Number of columns in the lowered form."""
         return len(self.c)
 
     def objective_value(self, x: np.ndarray) -> float:
@@ -465,14 +466,17 @@ class Model:
     # -- introspection -----------------------------------------------------
     @property
     def num_vars(self) -> int:
+        """Number of variables declared on the model."""
         return len(self.variables)
 
     @property
     def num_constraints(self) -> int:
+        """Number of constraints declared on the model."""
         return len(self.constraints)
 
     @property
     def num_integer_vars(self) -> int:
+        """Number of integer (including binary) variables."""
         return sum(1 for v in self.variables if v.is_integer)
 
     @property

@@ -180,6 +180,7 @@ class _Block:
 
     @property
     def m(self) -> int:
+        """Row count of the block (alive and eliminated rows included)."""
         return int(self.rhs.shape[0])
 
     def live_entries(self) -> Tuple[IntArray, IntArray, FloatArray, IntArray]:
@@ -240,6 +241,7 @@ def presolve(
     reason = ""
 
     def round_integer_bounds() -> bool:
+        """Pull integer-variable bounds to the nearest enclosed integers."""
         changed = False
         fin_lo = integ & ~fixed & np.isfinite(lb)
         fin_hi = integ & ~fixed & np.isfinite(ub)
@@ -254,6 +256,7 @@ def presolve(
         return changed
 
     def check_bound_crossings() -> None:
+        """Prove infeasibility (or close numerically crossed bounds)."""
         live = ~fixed
         with np.errstate(invalid="ignore"):
             crossed = live & (lb > ub)
@@ -271,6 +274,7 @@ def presolve(
         lb[crossed] = ub[crossed]
 
     def fix_narrow_columns() -> bool:
+        """Fix variables whose bound window has shrunk to a point."""
         newly = ~fixed & np.isfinite(lb) & np.isfinite(ub) & (ub - lb <= _FIX_TOL)
         if not np.any(newly):
             return False
@@ -285,6 +289,7 @@ def presolve(
         return True
 
     def drop_empty_rows(block: _Block) -> bool:
+        """Remove rows with no live coefficients (infeasible ones raise)."""
         rows, _, _, _ = block.live_entries()
         counts = np.bincount(rows, minlength=block.m) if rows.size else np.zeros(
             block.m, dtype=np.int64
@@ -305,6 +310,7 @@ def presolve(
         return True
 
     def convert_singleton_rows(block: _Block) -> bool:
+        """Turn single-coefficient rows into variable bounds and drop them."""
         rows, cols, vals, _ = block.live_entries()
         if not rows.size:
             return False
@@ -415,6 +421,7 @@ def presolve(
         return changed
 
     def dedup_parallel_rows(block: _Block) -> bool:
+        """Keep only the tightest of each parallel-row family."""
         rows, cols, vals, _ = block.live_entries()
         if rows.size < 2:
             return False
@@ -491,6 +498,7 @@ def presolve(
         return changed
 
     def fix_empty_columns() -> None:
+        """Fix columns no live row touches at their cost-optimal bound."""
         touched = np.zeros(n, dtype=bool)
         for block in blocks:
             _, bcols, _, _ = block.live_entries()

@@ -127,6 +127,7 @@ _RUNG_COUNTERS = {
     "cold-restart": "recovery_cold_restart",
     "failover": "backend_failovers",
     "greedy": "greedy_degradations",
+    "reprice": "recovery_reprice",
 }
 
 

@@ -247,13 +247,16 @@ class _CanonicalLP:
 
     @property
     def m(self) -> int:
+        """Canonical row count."""
         return self.A.shape[0]
 
     @property
     def n(self) -> int:
+        """Canonical column count (structural + slack, artificials excluded)."""
         return self.A.shape[1]
 
     def recover(self, y: np.ndarray) -> np.ndarray:
+        """Map a canonical point back to the original variable space."""
         x = y[self.plus_index].astype(float, copy=True)
         split = self.minus_index >= 0
         if np.any(split):
@@ -549,9 +552,11 @@ class _BasisFactor:
     # -- update file (dense etas or Forrest-Tomlin spikes) ------------------
     @property
     def n_etas(self) -> int:
+        """Number of basis updates recorded since the last factorization."""
         return len(self._etas_r) + len(self._spikes)
 
     def needs_refactor(self) -> bool:
+        """True when the update file has outgrown its count/nnz budget."""
         if self._dense_etas:
             return len(self._etas_r) >= _REFACTOR_INTERVAL
         # Small bases refactorize almost for free, so cap their update
@@ -664,6 +669,7 @@ class _State:
         self.xB = self.factor.ftran(resid)
 
     def factorize(self) -> None:
+        """Factorize the current basis from scratch."""
         self.factor = _BasisFactor(self.lp, self.basis, self.art_sign)
 
     def refactor(self) -> None:
@@ -673,6 +679,7 @@ class _State:
         self.compute_xB()
 
     def solution_vector(self) -> np.ndarray:
+        """The current canonical point (basic values scattered over bounds)."""
         x = self.nonbasic_values()
         x[self.basis] = self.xB
         return x[: self.lp.n]
@@ -1325,6 +1332,87 @@ def _warm_solve(
     return _finish_primal(state, max_iter, dual_iters, deadline=deadline, pricing=pricing)
 
 
+def extend_warm_basis(
+    token: _Basis, old_lp: _CanonicalLP, new_lp: _CanonicalLP
+) -> Optional[_Basis]:
+    """Migrate a warm-start basis across appended columns and ``<=`` rows.
+
+    The column-generation restricted master grows strictly by appending:
+    new structural columns after the existing ones and new inequality rows
+    after the existing inequality block (equality rows are never added or
+    reordered).  Under that discipline every old basic variable keeps a
+    well-defined home in the new canonical layout -- structural columns keep
+    their index, slack ``i`` moves from ``n_exp_old + i`` to
+    ``n_exp_new + i``, and a leftover phase-1 artificial follows its row --
+    while each appended row starts with its own slack basic and appended
+    columns rest at a finite bound.  The migrated token carries no
+    factorization (``factor=None``), so the next :func:`_warm_solve`
+    refactorizes once and then resumes phase 2 directly whenever the old
+    point is still primal feasible (the common case for a pure column
+    append).  Returns ``None`` when the two lowerings are not related by an
+    append (different equality-row count, shrunk dimensions, or a changed
+    free-variable split on the shared prefix), in which case the caller
+    should cold-start.
+    """
+    if not _basis_compatible(token, old_lp):
+        return None
+    n_old, n_new = old_lp.n_original, new_lp.n_original
+    if n_new < n_old or new_lp.n_ub < old_lp.n_ub:
+        return None
+    if (old_lp.m - old_lp.n_ub) != (new_lp.m - new_lp.n_ub):
+        return None
+    if not np.array_equal(new_lp.free_mask[:n_old], old_lp.free_mask):
+        return None
+    n_exp_old = old_lp.n - old_lp.n_ub
+    n_exp_new = new_lp.n - new_lp.n_ub
+    added_ub = new_lp.n_ub - old_lp.n_ub
+    m_new = new_lp.m
+    # Old <= rows keep their index; old == rows shift past the appended
+    # <= block.  (Canonical row order is [ub rows; eq rows].)
+    old_rows = np.arange(old_lp.m, dtype=np.int64)
+    new_row_of = np.where(old_rows < old_lp.n_ub, old_rows, old_rows + added_ub)
+
+    def map_cols(idx: np.ndarray) -> np.ndarray:
+        """Shift old canonical column ids to their new-canonical positions."""
+        out = idx.copy()
+        slack = (idx >= n_exp_old) & (idx < old_lp.n)
+        art = idx >= old_lp.n
+        out[slack] += n_exp_new - n_exp_old
+        out[art] = new_lp.n + new_row_of[idx[art] - old_lp.n]
+        return out
+
+    vstat = np.empty(new_lp.n + m_new, dtype=np.int8)
+    # Appended structural columns rest at a finite bound (crash-basis rule);
+    # then the surviving statuses overwrite the shared prefix.
+    vstat[:n_exp_new] = np.where(
+        np.isfinite(new_lp.lower[:n_exp_new]), AT_LOWER, AT_UPPER
+    )
+    vstat[:n_exp_old] = token.vstat[:n_exp_old]
+    vstat[n_exp_new : new_lp.n] = AT_LOWER
+    vstat[n_exp_new : n_exp_new + old_lp.n_ub] = token.vstat[n_exp_old : old_lp.n]
+    vstat[new_lp.n :] = AT_LOWER
+    vstat[new_lp.n + new_row_of] = token.vstat[old_lp.n :]
+
+    art_sign = np.ones(m_new)
+    art_sign[new_row_of] = token.art_sign
+
+    basis = np.empty(m_new, dtype=np.int64)
+    basis[new_row_of] = map_cols(token.basis)
+    new_ub_rows = np.arange(old_lp.n_ub, new_lp.n_ub, dtype=np.int64)
+    basis[new_ub_rows] = n_exp_new + new_ub_rows
+    vstat[n_exp_new + new_ub_rows] = BASIC
+
+    return _Basis(
+        basis=basis,
+        vstat=vstat,
+        art_sign=art_sign,
+        n_rows=m_new,
+        n_cols=new_lp.n,
+        free_mask=new_lp.free_mask.copy(),
+        factor=None,
+    )
+
+
 def _solution_from_canonical(
     form: StandardForm,
     lp: _CanonicalLP,
@@ -1609,6 +1697,9 @@ class SimplexSolver:
             y_dual = token.factor.btran(costs_ext[token.basis])
             d_canon = lp.c - lp.A.rmatvec(y_dual)
             solution.reduced_costs = d_canon[lp.plus_index]
+            # Row duals in canonical order (<= rows then == rows), min-sense;
+            # the column-generation pricing oracle consumes these.
+            solution.duals = y_dual.copy()
         return solution, token
 
 

@@ -91,6 +91,13 @@ class Solution:
         *minimization* sense and aligned with the form's variable order.
         Populated by the in-house simplex and the SciPy LP backend; consumed
         by branch-and-bound's reduced-cost variable fixing.
+    duals:
+        Optional per-row dual values of an optimal LP basis, in the
+        *minimization* sense and in canonical row order (all ``<=`` rows in
+        lowering order, then all ``==`` rows).  At optimality the duals of
+        ``<=`` rows are nonpositive.  Populated by the in-house simplex;
+        consumed by the column-generation pricing oracle
+        (:mod:`repro.optim.colgen`).
     degradation:
         ``None`` for a solve that succeeded on its first backend; a
         :class:`Degradation` record when ``fallback="auto"`` rode one or
@@ -104,6 +111,7 @@ class Solution:
     iterations: int = 0
     gap: float = 0.0
     reduced_costs: Optional["FloatArray"] = None
+    duals: Optional["FloatArray"] = None
     degradation: Optional[Degradation] = None
 
     @property

@@ -26,11 +26,14 @@ __all__ = ["SparseMatrix", "as_dense", "as_spec", "is_sparse"]
 
 
 class SparseMatrix:
-    """An immutable-shape CSC matrix over float64 data.
+    """A CSC matrix over float64 data with a grow-by-columns escape hatch.
 
     Construct through :meth:`from_coo` / :meth:`from_dense`; the raw
     constructor trusts its arguments (sorted row indices per column, no
-    duplicates).
+    duplicates).  The row count is immutable; the column dimension can only
+    grow, through :meth:`append_columns` (in place, for the column-generation
+    restricted master) or :meth:`hstack_columns` (copying).  Both invalidate
+    the lazy matvec caches, so kernels stay correct across appends.
     """
 
     __slots__ = ("shape", "indptr", "indices", "data", "_col_ids", "_rmv_cache")
@@ -79,13 +82,30 @@ class SparseMatrix:
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "SparseMatrix":
+        """Build from a dense array, keeping only its nonzeros."""
         dense = np.asarray(dense, dtype=float)
         rows, cols = np.nonzero(dense)
         return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
 
     @classmethod
     def zeros(cls, shape: Tuple[int, int]) -> "SparseMatrix":
+        """An all-zero matrix of the given shape."""
         return cls(shape, np.zeros(shape[1] + 1, dtype=np.int64), np.empty(0, dtype=np.int64), np.empty(0))
+
+    @classmethod
+    def hstack_columns(cls, left: "SparseMatrix", right: "SparseMatrix") -> "SparseMatrix":
+        """Return ``[left | right]`` as a new matrix (row counts must match)."""
+        if left.shape[0] != right.shape[0]:
+            raise ValueError(
+                f"row mismatch in hstack: {left.shape[0]} vs {right.shape[0]}"
+            )
+        indptr = np.concatenate((left.indptr, right.indptr[1:] + left.nnz))
+        return cls(
+            (left.shape[0], left.shape[1] + right.shape[1]),
+            indptr,
+            np.concatenate((left.indices, right.indices)),
+            np.concatenate((left.data, right.data)),
+        )
 
     # -- ndarray-compatible introspection ---------------------------------
     @property
@@ -162,6 +182,7 @@ class SparseMatrix:
 
     # -- updates -----------------------------------------------------------
     def get(self, row: int, col: int) -> float:
+        """Single-entry lookup (zero when the position is not stored)."""
         lo, hi = self.indptr[col], self.indptr[col + 1]
         pos = np.searchsorted(self.indices[lo:hi], row)
         if pos < hi - lo and self.indices[lo + pos] == row:
@@ -190,6 +211,36 @@ class SparseMatrix:
         self._rmv_cache = None
         return True
 
+    def append_columns(self, block: "SparseMatrix") -> None:
+        """Append ``block``'s columns to this matrix in place.
+
+        The column-generation master admits priced-in columns round after
+        round; this widens the stored pattern in O(nnz-of-block + n_cols)
+        without touching the existing entries, and invalidates the lazy
+        matvec caches so subsequent kernels see the new columns.
+        """
+        if block.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"row mismatch in append: {self.shape[0]} vs {block.shape[0]}"
+            )
+        self.indptr = np.concatenate((self.indptr, block.indptr[1:] + self.nnz))
+        self.indices = np.concatenate((self.indices, block.indices))
+        self.data = np.concatenate((self.data, block.data))
+        self.shape = (self.shape[0], self.shape[1] + block.shape[1])
+        self._col_ids = None
+        self._rmv_cache = None
+
+    def take_columns(self, cols: Sequence[int]) -> "SparseMatrix":
+        """Gather ``A[:, cols]`` (in the given order) as a new matrix."""
+        sel = np.asarray(cols, dtype=np.int64)
+        counts = self.indptr[sel + 1] - self.indptr[sel]
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        total = int(indptr[-1])
+        pos = np.repeat(self.indptr[sel] - indptr[:-1], counts) + np.arange(total)
+        return SparseMatrix(
+            (self.shape[0], sel.size), indptr, self.indices[pos], self.data[pos]
+        )
+
     def __setitem__(self, key: Tuple[int, int], value: float) -> None:
         self.set(int(key[0]), int(key[1]), float(value))
 
@@ -198,6 +249,7 @@ class SparseMatrix:
 
     # -- conversions -------------------------------------------------------
     def to_dense(self) -> np.ndarray:
+        """Densify (sanctioned sites only -- see lint rule SOLV001)."""
         out = np.zeros(self.shape)
         if self.data.size:
             out[self.indices, self._column_ids()] = self.data
@@ -212,6 +264,7 @@ class SparseMatrix:
         )
 
     def copy(self) -> "SparseMatrix":
+        """A deep copy with freshly-owned index and data arrays."""
         return SparseMatrix(
             self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy()
         )
@@ -224,6 +277,7 @@ MatrixLike = Union[np.ndarray, SparseMatrix]
 
 
 def is_sparse(matrix: MatrixLike) -> bool:
+    """True when ``matrix`` is the CSC :class:`SparseMatrix`."""
     return isinstance(matrix, SparseMatrix)
 
 

@@ -27,13 +27,33 @@ model.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from typing import TYPE_CHECKING
 
 from repro.flows.mecf import solve_mecf_exact
 from repro.optim import Model, lin_sum
 from repro.optim.errors import InfeasibleError
 from repro.passive.problem import PPMProblem, PlacementResult
 from repro.topology.pop import LinkKey, link_key
+
+if TYPE_CHECKING:  # pragma: no cover - types only (colgen is imported lazily)
+    from repro.optim.colgen import ColGenHints
+    from repro.optim.model import StandardForm
 
 
 def _link_traffic_incidence(problem: PPMProblem) -> Dict[LinkKey, List[Hashable]]:
@@ -98,6 +118,148 @@ def _add_compact_core(model: Model, problem: PPMProblem) -> Tuple[Dict, Dict]:
     return x, delta
 
 
+class LP2Column(NamedTuple):
+    """One column of the compact formulation's variable universe.
+
+    ``index`` is the column's position in the lowered
+    :class:`~repro.optim.model.StandardForm` (all ``x`` columns in candidate
+    -link order, then all ``delta`` columns in traffic order), which is what
+    :class:`repro.optim.colgen.ColGenHints` indices refer to.
+    """
+
+    index: int
+    name: str
+    kind: str  # "x" (device on a link) or "delta" (monitored fraction)
+    cost: float  # objective coefficient
+    volume: float  # crossed volume for "x"; the traffic's volume for "delta"
+    crossing: Tuple[Hashable, ...]  # traffic ids for "x"; candidate links for "delta"
+
+
+def lp2_column_universe(problem: PPMProblem) -> Iterator[LP2Column]:
+    """Lazily describe LP2's column universe, one column at a time.
+
+    The generator never materializes any constraint matrix: each yielded
+    :class:`LP2Column` carries just enough structure (crossed volume,
+    incident traffics / links) for a column-generation driver to rank and
+    admit columns incrementally.  Iteration order matches the lowered
+    column order of :class:`PPMSession` (``x`` first, then ``delta``).
+    """
+    links = problem.candidate_links
+    incidence = _link_traffic_incidence(problem)
+    volume_of = {t.traffic_id: t.volume for t in problem.traffic}
+    candidate_set = set(links)
+    for i, link in enumerate(links):
+        crossing = tuple(incidence[link])
+        yield LP2Column(
+            index=i,
+            name=f"x[{i}]",
+            kind="x",
+            cost=1.0,
+            volume=float(sum(volume_of[tid] for tid in crossing)),
+            crossing=crossing,
+        )
+    n_links = len(links)
+    for j, traffic in enumerate(problem.traffic):
+        yield LP2Column(
+            index=n_links + j,
+            name=f"delta[{j}]",
+            kind="delta",
+            cost=0.0,
+            volume=float(traffic.volume),
+            crossing=tuple(l for l in traffic.links if l in candidate_set),
+        )
+
+
+def _lp2_colgen_hints(problem: PPMProblem, form: "StandardForm") -> "ColGenHints":
+    """Build :class:`repro.optim.colgen.ColGenHints` for an LP2 lowering.
+
+    * **Initial columns**: the highest-volume monitorable traffics until
+      their volume clears the coverage target, plus a
+      greedy link cover of those traffics -- the heavy-hitter seed the
+      paper's skewed Internet traffic makes effective.
+    * **Expansion order**: monitorable ``delta`` columns by volume, then
+      ``x`` columns by crossed volume, then the unmonitorable rest.
+    * **Dual completion**: a dropped monitor row's dual is exactly
+      ``v_t * y_coverage`` at LP2 optimality (it zeroes the reduced cost of
+      the row's ``delta`` column), which keeps never-admitted traffic
+      fractions priced out instead of flooding the master.
+    """
+    from repro.optim.colgen import ColGenHints
+
+    columns = list(lp2_column_universe(problem))
+    n_links = len(problem.candidate_links)
+    x_cols, delta_cols = columns[:n_links], columns[n_links:]
+    usable = [col for col in delta_cols if col.crossing]
+
+    chosen: List[LP2Column] = []
+    acc = 0.0
+    target = problem.required_volume
+    for col in sorted(usable, key=lambda c: -c.volume):
+        chosen.append(col)
+        acc += col.volume
+        if acc >= target:
+            break
+
+    link_pos = {link: i for i, link in enumerate(problem.candidate_links)}
+    gain = np.zeros(n_links)
+    for col in chosen:
+        for link in col.crossing:
+            gain[link_pos[link]] += col.volume
+    uncovered = {col.index for col in chosen}
+    covers: Dict[int, List[int]] = {}
+    for col in chosen:
+        for link in col.crossing:
+            covers.setdefault(link_pos[link], []).append(col.index)
+    init_x: List[int] = []
+    for i in np.argsort(-gain):
+        if not uncovered:
+            break
+        hit = [j for j in covers.get(int(i), ()) if j in uncovered]
+        if hit:
+            init_x.append(int(i))
+            uncovered.difference_update(hit)
+
+    # Every monitorable flow crossing a seed link is observable from the
+    # seed placement, so its delta is active at any optimum built on those
+    # links -- admit them upfront instead of over several pricing rounds.
+    seed_links = {problem.candidate_links[i] for i in init_x}
+    observable = [
+        col.index
+        for col in usable
+        if col.index not in {c.index for c in chosen}
+        and any(link in seed_links for link in col.crossing)
+    ]
+
+    unusable = [col for col in delta_cols if not col.crossing]
+    expansion = [col.index for col in sorted(usable, key=lambda c: -c.volume)]
+    expansion += [col.index for col in sorted(x_cols, key=lambda c: -c.volume)]
+    expansion += [col.index for col in unusable]
+
+    traffics = list(problem.traffic)
+    monitor_rows = np.array(
+        [form.row_map[f"monitor[{t.traffic_id}]"][1] for t in traffics],
+        dtype=np.int64,
+    )
+    cov_row = int(form.row_map["coverage"][1])
+    volumes = np.array([t.volume for t in traffics])
+
+    def complete(y: np.ndarray, dropped: np.ndarray) -> None:
+        # At LP2 optimality a slack monitor row's dual is v_t * y_cov: it
+        # makes the reduced cost of the row's delta column exactly zero
+        # (the lowered coverage row carries -v_t, the monitor row +1).
+        y_cov = min(float(y[cov_row]), 0.0)
+        mask = dropped[monitor_rows]
+        y[monitor_rows[mask]] = volumes[mask] * y_cov
+
+    return ColGenHints(
+        initial_columns=tuple(init_x)
+        + tuple(col.index for col in chosen)
+        + tuple(observable),
+        expansion_order=tuple(expansion),
+        complete_duals=complete,
+    )
+
+
 class PPMSession:
     """Reusable PPM(k) compact-formulation session (Linear program 2).
 
@@ -132,6 +294,11 @@ class PPMSession:
         model.set_objective(lin_sum(self._x.values()))
         self.model = model
         self._session = model.session(backend=backend, **solver_options)
+        # Column-generation hints ride along on every session; they are
+        # consumed only when the solver's ``decomposition`` option resolves
+        # to "colgen" (Internet-scale instances), and cost one pass over
+        # the traffic to build.
+        self._session.set_colgen_hints(_lp2_colgen_hints(problem, self._session.form))
 
     @property
     def solves(self) -> int:

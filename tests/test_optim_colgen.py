@@ -1,0 +1,319 @@
+"""Tests for restricted-master column generation (``repro.optim.colgen``).
+
+The load-bearing assertion throughout is *exactness*: a decomposed solve
+must return the same status and (at tolerance) the same objective as the
+monolithic solve of the identical form -- on random LPs, random MILPs, the
+LP2 placement lowering, and under injected pricing faults.  Warm-basis
+survival across column appends and the option plumbing
+(``decomposition=``, ``REPRO_DECOMPOSITION``, hints) are covered
+alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    ColGenHints,
+    FaultPlan,
+    Model,
+    SolveStatus,
+    lin_sum,
+)
+from repro.optim import colgen, faultinject
+from repro.optim import instrumentation as instr
+from repro.optim.branch_and_bound import solve_milp
+from repro.optim.errors import SolverError
+from repro.optim.resilience import Deadline
+from repro.optim.simplex import solve_standard_form
+
+TOL = 1e-6
+
+N_LP_INSTANCES = 40
+N_MILP_INSTANCES = 25
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    instr.reset()
+    yield
+    instr.reset()
+
+
+# ---------------------------------------------------------------------------
+# Option plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestDecompositionOption:
+    def test_validate_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="decomposition"):
+            colgen.validate_decomposition("sifting")
+
+    def test_validate_passes_known_modes(self):
+        for mode in colgen.DECOMPOSITION_MODES:
+            assert colgen.validate_decomposition(mode) == mode
+
+    def test_explicit_value_wins(self):
+        assert colgen.resolve_decomposition("colgen", 2) == "colgen"
+        assert colgen.resolve_decomposition("off", 10**6) == "off"
+
+    def test_auto_threshold(self):
+        assert colgen.resolve_decomposition("auto", colgen._COLGEN_MIN_COLS) == "colgen"
+        assert colgen.resolve_decomposition("auto", colgen._COLGEN_MIN_COLS - 1) == "off"
+
+    def test_env_override_steers_auto_only(self, monkeypatch):
+        monkeypatch.setattr(colgen, "_DECOMP_ENV", "colgen")
+        assert colgen.resolve_decomposition("auto", 2) == "colgen"
+        assert colgen.resolve_decomposition("off", 10**6) == "off"
+        monkeypatch.setattr(colgen, "_DECOMP_ENV", "off")
+        assert colgen.resolve_decomposition("auto", 10**6) == "off"
+
+    def test_backend_rejects_bad_decomposition(self):
+        m = _lp_model()
+        with pytest.raises(ValueError, match="decomposition"):
+            m.solve(backend="simplex", decomposition="bogus")
+
+    def test_model_solve_with_explicit_colgen(self):
+        sol = _lp_model().solve(backend="simplex", decomposition="colgen")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0, abs=TOL)
+        assert instr.snapshot()["colgen_rounds"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: colgen vs monolithic on the same form
+# ---------------------------------------------------------------------------
+
+
+def _lp_model() -> Model:
+    m = Model("colgen-lp")
+    x = m.add_var("x")
+    y = m.add_var("y")
+    m.add_constr(x + y >= 3, "cover")
+    m.add_constr(2 * x + y >= 4, "capacity")
+    m.set_objective(3 * x + 2 * y)
+    return m
+
+
+def _random_model(rng: np.random.Generator, mip: bool) -> Model:
+    """A random boxed LP/MILP small enough to solve monolithically."""
+    n = int(rng.integers(3, 9))
+    m = int(rng.integers(1, 6))
+    model = Model("colgen-fuzz", sense="max" if rng.random() < 0.5 else "min")
+    xs = []
+    for i in range(n):
+        if mip and rng.random() < 0.4:
+            lo = float(rng.integers(-3, 1))
+            xs.append(
+                model.add_var(f"x{i}", lb=lo, ub=lo + float(rng.integers(1, 6)), vartype="integer")
+            )
+            continue
+        lo = float(rng.uniform(-4, 1))
+        hi = lo + float(rng.uniform(0.5, 6))
+        if not mip and rng.random() < 0.25:
+            hi = np.inf
+        xs.append(model.add_var(f"x{i}", lb=lo, ub=hi))
+    for row in range(m):
+        coeffs = rng.uniform(-2.0, 2.0, size=n)
+        coeffs[rng.random(n) < 0.3] = 0.0
+        if not np.any(coeffs):
+            coeffs[int(rng.integers(0, n))] = 1.0
+        expr = lin_sum(float(c) * x for c, x in zip(coeffs, xs) if c)
+        rhs = float(rng.uniform(-5.0, 5.0))
+        sense = ("<=", ">=", "==")[int(rng.integers(0, 3))]
+        if sense == "<=":
+            model.add_constr(expr <= rhs, name=f"c{row}")
+        elif sense == ">=":
+            model.add_constr(expr >= rhs, name=f"c{row}")
+        else:
+            model.add_constr(expr == rhs, name=f"c{row}")
+    objective = rng.uniform(-3.0, 3.0, size=n)
+    model.set_objective(lin_sum(float(c) * x for c, x in zip(objective, xs)))
+    return model
+
+
+def _assert_matches(decomposed, monolithic, label: str) -> None:
+    assert decomposed.status is monolithic.status, (
+        f"{label}: colgen {decomposed.status} != monolithic {monolithic.status}"
+    )
+    if monolithic.status is SolveStatus.OPTIMAL:
+        assert decomposed.objective == pytest.approx(
+            monolithic.objective, rel=TOL, abs=TOL
+        ), f"{label}: colgen {decomposed.objective} != monolithic {monolithic.objective}"
+
+
+class TestColgenDifferential:
+    def test_random_lps_match_monolithic(self):
+        rng = np.random.default_rng(1905)
+        for trial in range(N_LP_INSTANCES):
+            form = _random_model(rng, mip=False).to_standard_form()
+            mono = solve_standard_form(form)
+            ours = colgen.solve_form_colgen(form, is_mip=False, options={})
+            _assert_matches(ours, mono, f"lp trial {trial}")
+
+    def test_random_milps_match_branch_and_bound(self):
+        # Price-and-branch-lite only *claims* OPTIMAL when the restricted
+        # master's integer optimum provably matches the full MIP (integral
+        # objective or gap closure); otherwise it reports an honest
+        # FEASIBLE incumbent.  Claims must be exact, incumbents valid.
+        rng = np.random.default_rng(4711)
+        claimed_optimal = 0
+        for trial in range(N_MILP_INSTANCES):
+            form = _random_model(rng, mip=True).to_standard_form()
+            mono = solve_milp(form)
+            if mono.status not in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+                continue
+            ours = colgen.solve_form_colgen(form, is_mip=True, options={})
+            label = f"milp trial {trial}"
+            if mono.status is SolveStatus.INFEASIBLE:
+                assert ours.status is SolveStatus.INFEASIBLE, label
+                continue
+            assert ours.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE), label
+            sign = -1.0 if form.maximize else 1.0
+            if ours.status is SolveStatus.OPTIMAL:
+                claimed_optimal += 1
+                assert ours.objective == pytest.approx(
+                    mono.objective, rel=TOL, abs=TOL
+                ), f"{label}: claimed optimal but {ours.objective} != {mono.objective}"
+            else:
+                # An incumbent can never beat the true integer optimum.
+                assert sign * ours.objective >= sign * mono.objective - TOL, (
+                    f"{label}: incumbent {ours.objective} beats optimum {mono.objective}"
+                )
+        assert claimed_optimal >= 5, "optimality was never provable -- claims too weak"
+
+    def test_infeasible_lp_is_reported(self):
+        m = Model("colgen-infeasible")
+        x = m.add_var("x", lb=0.0, ub=1.0)
+        y = m.add_var("y", lb=0.0, ub=1.0)
+        m.add_constr(x + y >= 5, "impossible")
+        m.set_objective(x + y)
+        sol = colgen.solve_form_colgen(m.to_standard_form(), is_mip=False, options={})
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_lp_is_reported(self):
+        m = Model("colgen-unbounded")
+        x = m.add_var("x", lb=0.0)
+        y = m.add_var("y", lb=0.0, ub=2.0)
+        m.add_constr(y - x <= 1, "ceiling")
+        m.set_objective(-x - y)
+        sol = colgen.solve_form_colgen(m.to_standard_form(), is_mip=False, options={})
+        assert sol.status is SolveStatus.UNBOUNDED
+
+    def test_counters_record_pricing_work(self):
+        form = _lp_model().to_standard_form()
+        sol = colgen.solve_form_colgen(form, is_mip=False, options={})
+        assert sol.status is SolveStatus.OPTIMAL
+        snap = instr.snapshot()
+        assert snap["colgen_rounds"] >= 1
+        assert snap["master_resolves"] >= 1
+        assert snap["columns_priced"] >= form.num_vars
+
+    def test_time_limit_reports_honestly(self):
+        form = _random_model(np.random.default_rng(7), mip=False).to_standard_form()
+        deadline = Deadline(30.0)
+        plan = FaultPlan(jump_clock_after=1)
+        with faultinject.inject(plan):
+            sol = colgen.solve_form_colgen(form, is_mip=False, options={}, deadline=deadline)
+        assert sol.status is SolveStatus.TIME_LIMIT
+
+
+# ---------------------------------------------------------------------------
+# Hints + warm bases across column appends
+# ---------------------------------------------------------------------------
+
+
+class TestHintsAndWarmBases:
+    def test_hinted_initial_columns_are_respected(self):
+        form = _lp_model().to_standard_form()
+        hints = ColGenHints(initial_columns=(1,))
+        engine = colgen.ColumnGeneration(form, hints=hints)
+        sol = engine.solve_lp(None)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0, abs=TOL)
+
+    def test_master_grows_monotonically_across_rounds(self):
+        rng = np.random.default_rng(99)
+        form = _random_model(rng, mip=False).to_standard_form()
+        engine = colgen.ColumnGeneration(
+            form, hints=ColGenHints(initial_columns=(0,))
+        )
+        sol = engine.solve_lp(None)
+        mono = solve_standard_form(form)
+        _assert_matches(sol, mono, "hinted engine")
+        assert len(engine.active_cols) <= form.num_vars
+
+    def test_warm_token_survives_column_appends(self):
+        # A cover LP whose colgen run takes several rounds: the warm token
+        # from round k seeds round k+1's master after new columns appended.
+        m = Model("colgen-cover")
+        xs = [m.add_var(f"x{i}", lb=0.0, ub=1.0) for i in range(12)]
+        m.add_constr(lin_sum(xs) >= 6, "cover")
+        for i in range(0, 12, 2):
+            m.add_constr(xs[i] + xs[i + 1] >= 0.5, f"pair{i}")
+        m.set_objective(lin_sum(float(1 + (i % 3)) * x for i, x in enumerate(xs)))
+        form = m.to_standard_form()
+        engine = colgen.ColumnGeneration(form, hints=ColGenHints(initial_columns=(0, 1)))
+        sol = engine.solve_lp(None)
+        mono = solve_standard_form(form)
+        _assert_matches(sol, mono, "warm appends")
+        snap = instr.snapshot()
+        assert snap["master_resolves"] >= 2, "expected a multi-round run"
+        assert engine._token is not None, "warm basis token was not retained"
+
+    def test_session_resolve_reuses_colgen_state(self):
+        m = Model("colgen-session")
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constr(x + y >= 3, "cover")
+        m.add_constr(2 * x + y >= 4, "capacity")
+        m.set_objective(3 * x + 2 * y)
+        session = m.session(backend="simplex", decomposition="colgen")
+        first = session.solve()
+        assert first.status is SolveStatus.OPTIMAL
+        assert first.objective == pytest.approx(7.0, abs=TOL)
+        engine = session._colgen
+        assert engine is not None
+        session.update_constraint_rhs("cover", 4.0)
+        second = session.solve()
+        assert second.status is SolveStatus.OPTIMAL
+        assert second.objective == pytest.approx(8.0, abs=TOL)
+        assert session._colgen is engine, "colgen state was rebuilt, not reused"
+
+
+# ---------------------------------------------------------------------------
+# Pricing-fault recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCorruptPricingRecovery:
+    def test_single_corruption_recovers_and_matches(self):
+        form = _lp_model().to_standard_form()
+        clean = colgen.solve_form_colgen(form, is_mip=False, options={})
+        instr.reset()
+        plan = FaultPlan(corrupt_pricing=(1,))
+        with faultinject.inject(plan) as armed:
+            sol = colgen.solve_form_colgen(form, is_mip=False, options={})
+        assert armed.fired["pricing"] == 1, "the pricing fault never triggered"
+        assert sol.status is clean.status
+        assert sol.objective == pytest.approx(clean.objective, abs=TOL)
+        assert instr.snapshot()["recovery_reprice"] == 1
+
+    def test_persistent_corruption_raises(self):
+        form = _lp_model().to_standard_form()
+        plan = FaultPlan(corrupt_pricing=(1, 2))
+        with faultinject.inject(plan) as armed:
+            with pytest.raises(SolverError, match="pricing"):
+                colgen.solve_form_colgen(form, is_mip=False, options={})
+        assert armed.fired["pricing"] == 2
+
+    def test_session_fallback_rescues_poisoned_pricing(self):
+        m = _lp_model()
+        plan = FaultPlan(corrupt_pricing=(1, 2))
+        with faultinject.inject(plan):
+            sol = m.solve(backend="simplex", decomposition="colgen", fallback="auto")
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(7.0, abs=TOL)
+        assert sol.degradation is not None

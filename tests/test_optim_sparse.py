@@ -51,6 +51,56 @@ class TestSparseMatrix:
         assert A.nnz == 2
         np.testing.assert_allclose(A.to_dense(), [[1.0, 0.0], [0.0, 2.0]])
 
+    def test_hstack_columns_matches_dense_concat(self):
+        rng = np.random.default_rng(23)
+        for _ in range(10):
+            m = int(rng.integers(1, 7))
+            nl, nr = rng.integers(0, 6, size=2)
+            dl = rng.random((m, nl)) * (rng.random((m, nl)) < 0.5)
+            dr = rng.random((m, nr)) * (rng.random((m, nr)) < 0.5)
+            stacked = SparseMatrix.hstack_columns(
+                SparseMatrix.from_dense(dl), SparseMatrix.from_dense(dr)
+            )
+            np.testing.assert_allclose(stacked.to_dense(), np.hstack((dl, dr)))
+
+    def test_hstack_columns_rejects_row_mismatch(self):
+        with pytest.raises(ValueError, match="row mismatch"):
+            SparseMatrix.hstack_columns(
+                SparseMatrix.zeros((2, 1)), SparseMatrix.zeros((3, 1))
+            )
+
+    def test_append_columns_widens_in_place(self):
+        rng = np.random.default_rng(31)
+        base = rng.random((5, 3)) * (rng.random((5, 3)) < 0.5)
+        block = rng.random((5, 4)) * (rng.random((5, 4)) < 0.5)
+        A = SparseMatrix.from_dense(base)
+        A.append_columns(SparseMatrix.from_dense(block))
+        assert A.shape == (5, 7)
+        np.testing.assert_allclose(A.to_dense(), np.hstack((base, block)))
+        # The widened matrix must feed every kernel correctly (caches were
+        # invalidated, not left pointing at the narrower pattern).
+        x = rng.standard_normal(7)
+        np.testing.assert_allclose(A.matvec(x), np.hstack((base, block)) @ x)
+        y = rng.standard_normal(5)
+        np.testing.assert_allclose(
+            A.rmatvec_range(2, 6, y), np.hstack((base, block))[:, 2:6].T @ y
+        )
+
+    def test_append_columns_rejects_row_mismatch(self):
+        A = SparseMatrix.zeros((2, 2))
+        with pytest.raises(ValueError, match="row mismatch"):
+            A.append_columns(SparseMatrix.zeros((3, 1)))
+
+    def test_take_columns_gathers_in_order(self):
+        rng = np.random.default_rng(37)
+        dense = rng.random((4, 6)) * (rng.random((4, 6)) < 0.5)
+        A = SparseMatrix.from_dense(dense)
+        picked = A.take_columns([5, 0, 3, 3])
+        np.testing.assert_allclose(picked.to_dense(), dense[:, [5, 0, 3, 3]])
+        empty = A.take_columns([])
+        assert empty.shape == (4, 0)
+        assert empty.nnz == 0
+
     def test_matvec_and_rmatvec_match_dense(self):
         rng = np.random.default_rng(11)
         for _ in range(20):
